@@ -1,0 +1,188 @@
+// Command lspexp reproduces the paper's evaluation: one subcommand per
+// table/figure of §5, each printing the corresponding series as an aligned
+// table.
+//
+// Usage:
+//
+//	lspexp [-scale small|medium|paper] [-seed N] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|blosum|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "workload scale: small, medium or paper")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lspexp [flags] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 blosum all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	name := flag.Arg(0)
+	runners := map[string]func(experiments.Scale, int64) error{
+		"fig7":   runFig7,
+		"fig8":   runFig8,
+		"fig9":   runFig9,
+		"fig10":  runFig10,
+		"fig11":  runFig11,
+		"fig12":  runFig12,
+		"fig13":  runFig13,
+		"fig14":  runFig14,
+		"fig15":  runFig15,
+		"blosum": runBlosum,
+	}
+	if name == "all" {
+		for _, n := range []string{"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "blosum"} {
+			if err := timed(n, runners[n], scale, *seed); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	run, ok := runners[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lspexp: unknown experiment %q\n", name)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := timed(name, run, scale, *seed); err != nil {
+		fatal(err)
+	}
+}
+
+func timed(name string, run func(experiments.Scale, int64) error, scale experiments.Scale, seed int64) error {
+	start := time.Now()
+	fmt.Printf("== %s (scale=%s seed=%d) ==\n", name, scale, seed)
+	if err := run(scale, seed); err != nil {
+		return err
+	}
+	fmt.Printf("-- %s done in %v --\n\n", name, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lspexp:", err)
+	os.Exit(1)
+}
+
+func runFig7(scale experiments.Scale, seed int64) error {
+	res, err := experiments.Fig7(experiments.Fig7Config{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %s, |R(k>=%d)| = %d, min_match = %g\n",
+		res.Workload, res.Config.MinK, res.RefSize, res.Config.MinMatch)
+	fmt.Println("Figure 7(a,b): model quality vs noise level")
+	fmt.Print(res.Table())
+	fmt.Printf("Figure 7(c,d): model quality vs pattern length at alpha=%g\n", res.Config.LengthAlpha)
+	fmt.Print(res.LevelTable())
+	return nil
+}
+
+func runFig8(scale experiments.Scale, seed int64) error {
+	res, err := experiments.Fig8(experiments.Fig8Config{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 8: match-model quality vs compatibility-matrix error")
+	fmt.Print(res.Table())
+	return nil
+}
+
+func runFig9(scale experiments.Scale, seed int64) error {
+	res, err := experiments.Fig9(experiments.Fig9Config{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 9: candidate patterns per lattice level")
+	fmt.Print(res.Table())
+	return nil
+}
+
+func runFig10(scale experiments.Scale, seed int64) error {
+	res, err := experiments.Fig10(experiments.Fig10Config{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 10: ambiguous patterns vs sample size")
+	fmt.Print(res.Table())
+	return nil
+}
+
+func runFig11(scale experiments.Scale, seed int64) error {
+	res, err := experiments.Fig11(experiments.Fig11Config{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 11(a): average restricted spread R per level")
+	fmt.Print(res.Table())
+	fmt.Println("Figure 11(b): ambiguous patterns, restricted R vs R=1")
+	fmt.Print(res.RatioTable())
+	return nil
+}
+
+func runFig12(scale experiments.Scale, seed int64) error {
+	res, err := experiments.Fig12(experiments.Fig12Config{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 12: ambiguous patterns and error rate vs confidence")
+	fmt.Print(res.Table())
+	return nil
+}
+
+func runFig13(scale experiments.Scale, seed int64) error {
+	res, err := experiments.Fig13(experiments.Fig13Config{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 13: distribution of missed patterns (missed=%d, truth=%d)\n", res.Missed, res.Frequent)
+	fmt.Print(res.Table())
+	return nil
+}
+
+func runFig14(scale experiments.Scale, seed int64) error {
+	res, err := experiments.Fig14(experiments.Fig14Config{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 14: border collapsing vs level-wise vs Max-Miner")
+	fmt.Print(res.Table())
+	return nil
+}
+
+func runFig15(scale experiments.Scale, seed int64) error {
+	res, err := experiments.Fig15(experiments.Fig15Config{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 15: scalability vs number of distinct symbols")
+	fmt.Print(res.Table())
+	return nil
+}
+
+func runBlosum(scale experiments.Scale, seed int64) error {
+	res, err := experiments.Blosum(experiments.BlosumConfig{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("BLOSUM50 mutation experiment (identity=%g, lambda=%g, |R|=%d)\n",
+		res.Config.Identity, res.Config.Lambda, res.RefSize)
+	fmt.Print(res.Table())
+	return nil
+}

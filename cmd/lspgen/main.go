@@ -1,0 +1,93 @@
+// Command lspgen generates synthetic sequence databases and compatibility
+// matrices in the formats the miner consumes: a standard (noise-free)
+// database with planted motifs, a noisy test database derived from it, and
+// the matching compatibility matrix.
+//
+// Usage:
+//
+//	lspgen -out test.lsq -matrix compat.txt [-std standard.lsq] \
+//	       [-n 1000] [-m 20] [-minlen 20] [-maxlen 40] \
+//	       [-motifs 3] [-motif-len 5] [-plant 0.3] [-alpha 0.2] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/compat"
+	"repro/internal/datagen"
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+)
+
+func main() {
+	out := flag.String("out", "test.lsq", "output path for the (noisy) test database")
+	stdOut := flag.String("std", "", "optional output path for the standard (noise-free) database")
+	matrixOut := flag.String("matrix", "compat.txt", "output path for the compatibility matrix")
+	n := flag.Int("n", 1000, "number of sequences")
+	m := flag.Int("m", 20, "alphabet size")
+	minLen := flag.Int("minlen", 20, "minimum sequence length")
+	maxLen := flag.Int("maxlen", 40, "maximum sequence length")
+	numMotifs := flag.Int("motifs", 3, "number of planted motifs")
+	motifLen := flag.Int("motif-len", 5, "motif length")
+	plant := flag.Float64("plant", 0.3, "per-sequence probability of carrying each motif")
+	alpha := flag.Float64("alpha", 0.2, "uniform substitution noise level")
+	seed := flag.Int64("seed", 1, "random seed")
+	gz := flag.Bool("gzip", false, "write databases in the gzip-compressed format")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	std, motifs, err := datagen.Protein(datagen.ProteinConfig{
+		N: *n, M: *m, MinLen: *minLen, MaxLen: *maxLen,
+		NumMotifs: *numMotifs, MotifLen: *motifLen, PlantProb: *plant,
+	}, rng)
+	if err != nil {
+		fatal(err)
+	}
+	test, err := datagen.ApplyUniformNoise(std, *m, *alpha, rng)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := compat.UniformNoise(*m, *alpha)
+	if err != nil {
+		fatal(err)
+	}
+
+	writeDB := seqdb.WriteFile
+	if *gz {
+		writeDB = seqdb.WriteGzipFile
+	}
+	if err := writeDB(*out, test); err != nil {
+		fatal(err)
+	}
+	if *stdOut != "" {
+		if err := writeDB(*stdOut, std); err != nil {
+			fatal(err)
+		}
+	}
+	f, err := os.Create(*matrixOut)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := c.WriteTo(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+
+	a := pattern.GenericAlphabet(*m)
+	fmt.Printf("wrote %d sequences to %s (alpha=%g, matrix in %s)\n", test.Len(), *out, *alpha, *matrixOut)
+	fmt.Println("planted motifs:")
+	for _, motif := range motifs {
+		fmt.Println("  ", a.Format(motif))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lspgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,135 @@
+// Command lspmine mines the frequent long sequential patterns of a sequence
+// database under the match model, using the paper's three-phase
+// probabilistic algorithm.
+//
+// Usage:
+//
+//	lspmine -db test.lsq -matrix compat.txt -min-match 0.01 \
+//	        [-max-len 8] [-max-gap 1] [-sample 1000] [-delta 1e-4] \
+//	        [-budget 10000] [-finalizer collapse|levelwise|none] [-seed 1] \
+//	        [-all] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/compat"
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "sequence database (binary .lsq format)")
+	matrixPath := flag.String("matrix", "", "compatibility matrix (text format)")
+	minMatch := flag.Float64("min-match", 0.01, "match threshold")
+	maxLen := flag.Int("max-len", 8, "maximum pattern length")
+	maxGap := flag.Int("max-gap", 1, "maximum run of * inside a pattern")
+	sample := flag.Int("sample", 1000, "Phase 1 sample size")
+	delta := flag.Float64("delta", 1e-4, "Chernoff failure probability (confidence = 1-delta)")
+	budget := flag.Int("budget", 10000, "Phase 3 pattern counters per scan")
+	maxCand := flag.Int("max-candidates", 50000, "Phase 2 per-level candidate cap (0 = unlimited; dense matrices explode without one)")
+	finalizer := flag.String("finalizer", "collapse", "Phase 3 strategy: collapse, implicit, levelwise or none")
+	engine := flag.String("engine", "candidates", "Phase 2 engine: candidates or sweep (sparse matrices)")
+	seed := flag.Int64("seed", 1, "random seed for sampling")
+	all := flag.Bool("all", false, "print every frequent pattern, not only the border")
+	jsonOut := flag.Bool("json", false, "emit a JSON report instead of text")
+	verbose := flag.Bool("v", false, "print phase statistics")
+	flag.Parse()
+
+	if *dbPath == "" || *matrixPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	db, err := seqdb.OpenAuto(*dbPath)
+	if err != nil {
+		fatal(err)
+	}
+	mf, err := os.Open(*matrixPath)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := compat.ReadFrom(mf)
+	mf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var fin core.Finalizer
+	switch *finalizer {
+	case "collapse":
+		fin = core.BorderCollapsing
+	case "levelwise":
+		fin = core.LevelWise
+	case "implicit":
+		fin = core.BorderCollapsingImplicit
+	case "none":
+		fin = core.None
+	default:
+		fatal(fmt.Errorf("unknown finalizer %q", *finalizer))
+	}
+
+	mine := core.Mine
+	switch *engine {
+	case "candidates":
+	case "sweep":
+		mine = core.MineSweep
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+	res, err := mine(db, c, core.Config{
+		MinMatch:              *minMatch,
+		Delta:                 *delta,
+		SampleSize:            *sample,
+		MaxLen:                *maxLen,
+		MaxGap:                *maxGap,
+		MaxCandidatesPerLevel: *maxCand,
+		MemBudget:             *budget,
+		Finalizer:             fin,
+		Rng:                   rand.New(rand.NewSource(*seed)),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	a := pattern.GenericAlphabet(c.Size())
+	if *jsonOut {
+		rep, err := core.NewReport(res, *minMatch, db.Len(), a)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *verbose {
+		fmt.Printf("sequences: %d, sample: %d, scans: %d\n", db.Len(), res.SampleSize, res.Scans)
+		fmt.Printf("phase 2: %d frequent, %d ambiguous (%v)\n",
+			res.Phase2.Frequent.Len(), res.Phase2.Ambiguous.Len(), res.Phase2Time.Round(1e6))
+		if res.Phase2.Truncated {
+			fmt.Println("phase 2: candidate cap hit; result is complete only for the explored space")
+		}
+		if res.Phase3 != nil {
+			fmt.Printf("phase 3: %d probed in %d scans (%v)\n",
+				res.Phase3.Probed, res.Phase3.Scans, res.Phase3Time.Round(1e6))
+		}
+	}
+	set := res.Border
+	label := "border"
+	if *all {
+		set, label = res.Frequent, "frequent"
+	}
+	fmt.Printf("%s patterns (%d):\n", label, set.Len())
+	for _, p := range set.Patterns() {
+		fmt.Println("  ", a.Format(p))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lspmine:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,140 @@
+// Proteins demonstrates the paper's motivating domain: finding conserved
+// amino-acid motifs in sequences degraded by biologically plausible
+// mutation. It plants two motifs into synthetic protein fragments, mutates
+// every residue through a BLOSUM50-derived channel (N→D, K→R, V→I and
+// friends are the likely substitutions), and compares what the classic
+// support model and the match model recover.
+//
+//	go run ./examples/proteins
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	lsp "repro"
+)
+
+const (
+	identity = 0.30 // per-residue survival probability (twilight-zone homologs)
+	lambda   = 2.0  // BLOSUM score concentration
+	nSeqs    = 2000
+	minMatch = 0.004
+)
+
+func main() {
+	aa := lsp.AminoAlphabet()
+	rng := rand.New(rand.NewSource(7))
+
+	// Two conserved motifs built from residues with strong mutation
+	// partners — the paper's Figure 1 story: N, K and V mutate to D, R and
+	// I with little functional impact, so their degraded occurrences remain
+	// recognizable to the compatibility matrix.
+	motifA := mustParse(aa, "V I L M")
+	motifB := mustParse(aa, "N K V F Y")
+	motifs := []lsp.Pattern{motifA, motifB}
+	weights := []float64{0.30, 0.45}
+
+	// Standard database: a fraction of "sequences" are the conserved motifs
+	// themselves, the rest random fragments.
+	std := lsp.NewMemDB(nil)
+	m := aa.Size()
+	for i := 0; i < nSeqs; i++ {
+		if planted := pickMotif(rng, motifs, weights); planted != nil {
+			std.Append(append([]lsp.Symbol(nil), planted...))
+			continue
+		}
+		frag := make([]lsp.Symbol, 10+rng.Intn(8))
+		for j := range frag {
+			frag[j] = lsp.Symbol(rng.Intn(m))
+		}
+		std.Append(frag)
+	}
+
+	// Mutate every residue through the BLOSUM channel and build the
+	// compatibility matrix a biologist would hand the miner.
+	channel, err := lsp.BLOSUMChannel(identity, lambda)
+	if err != nil {
+		log.Fatal(err)
+	}
+	test := lsp.NewMemDB(nil)
+	for i := 0; i < std.Len(); i++ {
+		test.Append(mutate(rng, channel, std.Seq(i)))
+	}
+	matrix, err := lsp.BLOSUMCompatibility(identity, lambda)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d fragments, %.0f%% residue identity after mutation\n\n", test.Len(), identity*100)
+
+	// What does each model report for the true motifs on the mutated data?
+	supports, err := lsp.SupportInDB(test, motifs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	matches, err := lsp.MatchInDB(test, matrix, motifs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("true motif            support     match")
+	for i, motif := range motifs {
+		fmt.Printf("%-20s  %8.4f  %8.4f\n", aa.Format(motif), supports[i], matches[i])
+	}
+
+	// Mine both models exhaustively and check which motifs survive.
+	opts := lsp.MineOptions{MaxLen: 5, MaxGap: 0, MaxCandidatesPerLevel: 30000}
+	bySupport, err := lsp.ExhaustiveSupport(test, minMatch, m, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byMatch, err := lsp.Exhaustive(test, matrix, minMatch, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmining at threshold %.4f:\n", minMatch)
+	for _, motif := range motifs {
+		fmt.Printf("  %-20s  support model: %-5v  match model: %v\n",
+			aa.Format(motif), bySupport.Frequent.Contains(motif), byMatch.Frequent.Contains(motif))
+	}
+	fmt.Println("\nThe exact-occurrence model loses long motifs once most copies carry")
+	fmt.Println("at least one mutation; the compatibility matrix lets the match model")
+	fmt.Println("credit the degraded copies and keep the motifs above threshold.")
+}
+
+func mustParse(a *lsp.Alphabet, s string) lsp.Pattern {
+	p, err := a.Parse(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func pickMotif(rng *rand.Rand, motifs []lsp.Pattern, weights []float64) lsp.Pattern {
+	u := rng.Float64()
+	for i, w := range weights {
+		u -= w
+		if u < 0 {
+			return motifs[i]
+		}
+	}
+	return nil
+}
+
+func mutate(rng *rand.Rand, channel [][]float64, seq []lsp.Symbol) []lsp.Symbol {
+	out := make([]lsp.Symbol, len(seq))
+	for i, d := range seq {
+		u := rng.Float64()
+		row := channel[d]
+		out[i] = d
+		for j, p := range row {
+			u -= p
+			if u < 0 {
+				out[i] = lsp.Symbol(j)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package blosum
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+func sym(t *testing.T, letter string) pattern.Symbol {
+	t.Helper()
+	s, err := Alphabet().Symbol(letter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMatrixShape(t *testing.T) {
+	if M != 20 || len(Residues) != 20 {
+		t.Fatalf("M=%d", M)
+	}
+	a := Alphabet()
+	if a.Size() != 20 {
+		t.Fatalf("alphabet size %d", a.Size())
+	}
+}
+
+func TestMatrixSymmetry(t *testing.T) {
+	for i := pattern.Symbol(0); int(i) < M; i++ {
+		for j := pattern.Symbol(0); int(j) < M; j++ {
+			if Score(i, j) != Score(j, i) {
+				t.Fatalf("asymmetric at (%s,%s)", Alphabet().Name(i), Alphabet().Name(j))
+			}
+		}
+	}
+}
+
+func TestDiagonalDominates(t *testing.T) {
+	for i := pattern.Symbol(0); int(i) < M; i++ {
+		diag := Score(i, i)
+		for j := pattern.Symbol(0); int(j) < M; j++ {
+			if i != j && Score(i, j) >= diag {
+				t.Errorf("Score(%v,%v)=%d >= diagonal %d", i, j, Score(i, j), diag)
+			}
+		}
+	}
+}
+
+func TestPaperMutationsScoreHighest(t *testing.T) {
+	// §1's clinically likely mutations must be the top off-diagonal score in
+	// their row: N→D, K→R, V→I.
+	pairs := []struct{ from, to string }{
+		{"N", "D"}, {"K", "R"}, {"V", "I"},
+	}
+	for _, pr := range pairs {
+		from, to := sym(t, pr.from), sym(t, pr.to)
+		s := Score(from, to)
+		for j := pattern.Symbol(0); int(j) < M; j++ {
+			if j == from || j == to {
+				continue
+			}
+			if Score(from, j) > s {
+				t.Errorf("Score(%s,%s)=%d beaten by Score(%s,%s)=%d",
+					pr.from, pr.to, s, pr.from, Alphabet().Name(j), Score(from, j))
+			}
+		}
+	}
+}
+
+func TestChannelRowsStochastic(t *testing.T) {
+	sub, err := Channel(0.8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range sub {
+		sum := 0.0
+		for _, p := range row {
+			if p < 0 || p > 1 {
+				t.Fatalf("row %d has probability %v", i, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+		if row[i] != 0.8 {
+			t.Errorf("row %d identity %v, want 0.8", i, row[i])
+		}
+	}
+}
+
+func TestChannelFavorsLikelyMutations(t *testing.T) {
+	sub, err := Channel(0.8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, d, w := sym(t, "N"), sym(t, "D"), sym(t, "W")
+	if sub[n][d] <= sub[n][w] {
+		t.Errorf("P(N→D)=%v should exceed P(N→W)=%v", sub[n][d], sub[n][w])
+	}
+}
+
+func TestChannelLambdaZeroUniform(t *testing.T) {
+	sub, err := Channel(0.9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.1 / float64(M-1)
+	for j := 1; int(j) < M; j++ {
+		if math.Abs(sub[0][j]-want) > 1e-12 {
+			t.Fatalf("lambda=0: P(0→%d)=%v, want %v", j, sub[0][j], want)
+		}
+	}
+}
+
+func TestChannelValidation(t *testing.T) {
+	for _, tc := range []struct{ id, lam float64 }{{0, 0.5}, {1, 0.5}, {-0.1, 0.5}, {0.8, -1}} {
+		if _, err := Channel(tc.id, tc.lam); err == nil {
+			t.Errorf("Channel(%v,%v) accepted", tc.id, tc.lam)
+		}
+	}
+}
+
+func TestCompatibilityIsValidMatrix(t *testing.T) {
+	c, err := Compatibility(0.8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != M {
+		t.Fatalf("Size=%d", c.Size())
+	}
+	// Posterior of the true N given an observed D must exceed that of an
+	// unrelated residue like W.
+	n, d, w := sym(t, "N"), sym(t, "D"), sym(t, "W")
+	if c.C(n, d) <= c.C(w, d) {
+		t.Errorf("C(N|D)=%v should exceed C(W|D)=%v", c.C(n, d), c.C(w, d))
+	}
+	// Diagonal posteriors should dominate.
+	for i := pattern.Symbol(0); int(i) < M; i++ {
+		for j := pattern.Symbol(0); int(j) < M; j++ {
+			if i != j && c.C(i, j) > c.C(j, j) {
+				t.Errorf("C(%v,%v)=%v exceeds diagonal %v", i, j, c.C(i, j), c.C(j, j))
+			}
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package border implements Phase 3 of the paper's algorithm: collapsing
+// the gap between the two borders that embrace the ambiguous patterns, so
+// that the exact border of frequent patterns is located in a minimal number
+// of full database scans (Algorithm 4.3).
+//
+// Phase 2 hands over the explicitly enumerated ambiguous region (the paper
+// generates layer members on the fly with Algorithm 4.4 — implemented and
+// tested as pattern.Halfway — but with the region already enumerated the
+// same probe layers can be picked directly from it, with identical scan
+// behavior and simpler memory accounting). Each iteration fills a memory
+// budget of counters with the ambiguous patterns of highest collapsing
+// power — the halfway lattice level between the region's floor and ceiling,
+// then the quarterway levels, and so on — performs one scan to obtain their
+// exact matches, and propagates the outcomes across the remaining region
+// with the Apriori property: a frequent probe confirms all of its ambiguous
+// subpatterns, an infrequent probe kills all of its ambiguous superpatterns.
+package border
+
+import (
+	"fmt"
+
+	"repro/internal/miner"
+	"repro/internal/pattern"
+)
+
+// Config parameterizes a finalization run.
+type Config struct {
+	// MinMatch is the user's threshold; probes at or above it are frequent.
+	MinMatch float64
+	// MemBudget is the maximum number of pattern counters held per scan
+	// (the paper's "until the memory is filled up"). Must be >= 1.
+	MemBudget int
+	// Probe computes exact database matches for a batch of patterns at the
+	// cost of one full scan (e.g. miner.MatchDBValuer).
+	Probe miner.Valuer
+}
+
+func (c Config) validate() error {
+	if c.MinMatch < 0 || c.MinMatch > 1 {
+		return fmt.Errorf("border: MinMatch %v outside [0,1]", c.MinMatch)
+	}
+	if c.MemBudget < 1 {
+		return fmt.Errorf("border: MemBudget %d < 1", c.MemBudget)
+	}
+	if c.Probe == nil {
+		return fmt.Errorf("border: Probe is required")
+	}
+	return nil
+}
+
+// Result reports a finalization run.
+type Result struct {
+	// Frequent is the final frequent set: the sample-frequent patterns plus
+	// every ambiguous pattern confirmed against the database.
+	Frequent *pattern.Set
+	// Border is the border of Frequent — the algorithm's output (FQT).
+	Border *pattern.Set
+	// Scans is the number of full database scans spent probing.
+	Scans int
+	// Probed is the number of patterns counted against the database.
+	Probed int
+	// Exact records the exact database match of every probed pattern.
+	Exact map[string]float64
+}
+
+// Collapse finalizes the border via border collapsing. sampleFrequent holds
+// Phase 2's frequent patterns (accepted at confidence 1-δ without
+// re-probing, per the paper); ambiguous holds the patterns needing exact
+// evaluation. Neither input set is modified.
+func Collapse(cfg Config, sampleFrequent, ambiguous *pattern.Set) (*Result, error) {
+	return Finalize(cfg, sampleFrequent, ambiguous, PickHalfway)
+}
+
+// PickFunc selects up to budget pending patterns to probe in the next scan.
+// It must return at least one pattern while any are pending.
+type PickFunc func(pending *pattern.Set, budget int) []pattern.Pattern
+
+// Finalize runs the probe-and-propagate loop with a pluggable probe-order
+// strategy (halfway layers for Collapse, bottom-up for the level-wise
+// baseline in package levelwise). The strategy only affects how many scans
+// the loop needs — the resulting frequent set is always exact.
+func Finalize(cfg Config, sampleFrequent, ambiguous *pattern.Set, pick PickFunc) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Frequent: sampleFrequent.Clone(),
+		Exact:    make(map[string]float64),
+	}
+	pending := ambiguous.Clone()
+	for pending.Len() > 0 {
+		batch := pick(pending, cfg.MemBudget)
+		if len(batch) == 0 {
+			return nil, fmt.Errorf("border: probe strategy returned no patterns with %d pending", pending.Len())
+		}
+		values, err := cfg.Probe(batch)
+		if err != nil {
+			return nil, err
+		}
+		if len(values) != len(batch) {
+			return nil, fmt.Errorf("border: probe returned %d values for %d patterns", len(values), len(batch))
+		}
+		res.Scans++
+		res.Probed += len(batch)
+		for i, p := range batch {
+			res.Exact[p.Key()] = values[i]
+			pending.Remove(p)
+			if values[i] >= cfg.MinMatch {
+				res.Frequent.Add(p)
+				propagateFrequent(p, pending, res.Frequent)
+			} else {
+				propagateInfrequent(p, pending)
+			}
+		}
+	}
+	res.Border = pattern.Border(res.Frequent)
+	return res, nil
+}
+
+// propagateFrequent moves every pending subpattern of p to the frequent set
+// (Apriori: subpatterns of a frequent pattern are frequent).
+func propagateFrequent(p pattern.Pattern, pending, frequent *pattern.Set) {
+	var hits []pattern.Pattern
+	pending.ForEach(func(q pattern.Pattern) bool {
+		if q.IsSubpatternOf(p) {
+			hits = append(hits, q)
+		}
+		return true
+	})
+	for _, q := range hits {
+		pending.Remove(q)
+		frequent.Add(q)
+	}
+}
+
+// propagateInfrequent drops every pending superpattern of p (Apriori:
+// superpatterns of an infrequent pattern are infrequent).
+func propagateInfrequent(p pattern.Pattern, pending *pattern.Set) {
+	var hits []pattern.Pattern
+	pending.ForEach(func(q pattern.Pattern) bool {
+		if p.IsSubpatternOf(q) {
+			hits = append(hits, q)
+		}
+		return true
+	})
+	for _, q := range hits {
+		pending.Remove(q)
+	}
+}
+
+// PickHalfway selects up to budget pending patterns in the halfway-layer
+// order of Algorithm 4.3: the lattice levels of the pending region are
+// visited in binary-subdivision order (halfway level first, then the two
+// quarterway levels, then the 1/8 levels, ...), which maximizes the expected
+// collapsing power of every counter held in memory.
+func PickHalfway(pending *pattern.Set, budget int) []pattern.Pattern {
+	byLevel := groupByLevel(pending)
+	lo, hi := pending.MinK(), pending.MaxK()
+	var out []pattern.Pattern
+	for _, level := range subdivisionOrder(lo, hi) {
+		for _, p := range byLevel[level] {
+			if len(out) >= budget {
+				return out
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// groupByLevel buckets a set's members by K, each bucket key-sorted (the
+// set's Patterns order) for determinism.
+func groupByLevel(s *pattern.Set) map[int][]pattern.Pattern {
+	byLevel := make(map[int][]pattern.Pattern)
+	for _, p := range s.Patterns() {
+		k := p.K()
+		byLevel[k] = append(byLevel[k], p)
+	}
+	return byLevel
+}
+
+// subdivisionOrder lists the levels of [lo, hi] in binary-subdivision order:
+// the midpoint of the full interval first, then midpoints of the two halves,
+// and so on — Algorithm 4.3's halfway/quarterway/… layer schedule.
+func subdivisionOrder(lo, hi int) []int {
+	if lo > hi {
+		return nil
+	}
+	type interval struct{ a, b int }
+	queue := []interval{{lo, hi}}
+	seen := make(map[int]bool)
+	var out []int
+	for len(queue) > 0 {
+		iv := queue[0]
+		queue = queue[1:]
+		if iv.a > iv.b {
+			continue
+		}
+		mid := (iv.a + iv.b + 1) / 2 // ⌈(a+b)/2⌉, matching Algorithm 4.4
+		if !seen[mid] {
+			seen[mid] = true
+			out = append(out, mid)
+		}
+		if iv.a <= mid-1 {
+			queue = append(queue, interval{iv.a, mid - 1})
+		}
+		if mid+1 <= iv.b {
+			queue = append(queue, interval{mid + 1, iv.b})
+		}
+	}
+	// Safety: ensure completeness even if subdivision missed a level.
+	for l := lo; l <= hi; l++ {
+		if !seen[l] {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,379 @@
+package border
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+const (
+	d1 = pattern.Symbol(0)
+	d2 = pattern.Symbol(1)
+	d3 = pattern.Symbol(2)
+	d4 = pattern.Symbol(3)
+	d5 = pattern.Symbol(4)
+	et = pattern.Eternal
+)
+
+// chain returns the Figure 6(a) ambiguous chain d1, d1d2, ..., d1..dLen.
+func chain(length int) *pattern.Set {
+	s := pattern.NewSet()
+	for l := 1; l <= length; l++ {
+		p := make(pattern.Pattern, l)
+		for i := range p {
+			p[i] = pattern.Symbol(i)
+		}
+		s.Add(p)
+	}
+	return s
+}
+
+// levelOracle probes patterns as frequent iff K <= cutoff, counting calls.
+type levelOracle struct {
+	cutoff int
+	calls  int
+}
+
+func (o *levelOracle) probe(ps []pattern.Pattern) ([]float64, error) {
+	o.calls++
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p.K() <= o.cutoff {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}
+
+func TestCollapseChainResolvesExactly(t *testing.T) {
+	for _, cutoff := range []int{0, 1, 2, 3, 4, 5} {
+		oracle := &levelOracle{cutoff: cutoff}
+		cfg := Config{MinMatch: 0.5, MemBudget: 1, Probe: oracle.probe}
+		res, err := Collapse(cfg, pattern.NewSet(), chain(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cutoff
+		if want > 5 {
+			want = 5
+		}
+		if res.Frequent.Len() != want {
+			t.Errorf("cutoff=%d: %d frequent, want %d", cutoff, res.Frequent.Len(), want)
+		}
+		for _, p := range res.Frequent.Patterns() {
+			if p.K() > cutoff {
+				t.Errorf("cutoff=%d: %v wrongly frequent", cutoff, p)
+			}
+		}
+		if want > 0 {
+			if res.Border.Len() != 1 || res.Border.Patterns()[0].K() != want {
+				t.Errorf("cutoff=%d: border=%v", cutoff, res.Border.Patterns())
+			}
+		}
+	}
+}
+
+func TestCollapseFirstProbeIsHalfway(t *testing.T) {
+	// Figure 6(a): for the chain of 5 ambiguous patterns, d1d2d3 (level 3)
+	// has the most collapsing power and must be probed first.
+	var first pattern.Pattern
+	probe := func(ps []pattern.Pattern) ([]float64, error) {
+		if first == nil {
+			first = ps[0]
+		}
+		return make([]float64, len(ps)), nil
+	}
+	cfg := Config{MinMatch: 0.5, MemBudget: 1, Probe: probe}
+	if _, err := Collapse(cfg, pattern.NewSet(), chain(5)); err != nil {
+		t.Fatal(err)
+	}
+	if first.K() != 3 {
+		t.Errorf("first probe at level %d, want 3 (halfway)", first.K())
+	}
+}
+
+func TestCollapseBeatsLevelOrderOnChains(t *testing.T) {
+	// With budget 1, collapsing a length-L chain takes O(log L) scans while
+	// bottom-up probing takes O(L).
+	const length = 32
+	for _, cutoff := range []int{0, 7, 16, 31, 32} {
+		oracle := &levelOracle{cutoff: cutoff}
+		cfg := Config{MinMatch: 0.5, MemBudget: 1, Probe: oracle.probe}
+		res, err := Collapse(cfg, pattern.NewSet(), chain(length))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ceil(log2(32)) = 5; allow one extra for boundary effects.
+		if res.Scans > 7 {
+			t.Errorf("cutoff=%d: collapse used %d scans on a %d-chain", cutoff, res.Scans, length)
+		}
+		if res.Scans != oracle.calls {
+			t.Errorf("Scans=%d but oracle saw %d calls", res.Scans, oracle.calls)
+		}
+	}
+}
+
+func TestCollapseBudgetRespected(t *testing.T) {
+	var maxBatch int
+	probe := func(ps []pattern.Pattern) ([]float64, error) {
+		if len(ps) > maxBatch {
+			maxBatch = len(ps)
+		}
+		return make([]float64, len(ps)), nil
+	}
+	cfg := Config{MinMatch: 0.5, MemBudget: 3, Probe: probe}
+	if _, err := Collapse(cfg, pattern.NewSet(), chain(10)); err != nil {
+		t.Fatal(err)
+	}
+	if maxBatch > 3 {
+		t.Errorf("batch of %d exceeded budget 3", maxBatch)
+	}
+}
+
+func TestCollapseLargeBudgetSingleScan(t *testing.T) {
+	oracle := &levelOracle{cutoff: 3}
+	cfg := Config{MinMatch: 0.5, MemBudget: 1000, Probe: oracle.probe}
+	res, err := Collapse(cfg, pattern.NewSet(), chain(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scans != 1 {
+		t.Errorf("whole region fits in memory but used %d scans", res.Scans)
+	}
+}
+
+func TestCollapseEmptyAmbiguous(t *testing.T) {
+	probe := func(ps []pattern.Pattern) ([]float64, error) {
+		t.Fatal("probe called with no ambiguous patterns")
+		return nil, nil
+	}
+	sampleFrequent := pattern.NewSet(pattern.MustNew(d1, d2))
+	res, err := Collapse(Config{MinMatch: 0.5, MemBudget: 1, Probe: probe}, sampleFrequent, pattern.NewSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scans != 0 {
+		t.Errorf("Scans=%d, want 0", res.Scans)
+	}
+	if !res.Frequent.Contains(pattern.MustNew(d1, d2)) {
+		t.Error("sample-frequent patterns lost")
+	}
+	if !res.Border.Contains(pattern.MustNew(d1, d2)) {
+		t.Error("border must contain the lone frequent pattern")
+	}
+}
+
+func TestCollapseDoesNotMutateInputs(t *testing.T) {
+	oracle := &levelOracle{cutoff: 2}
+	amb := chain(4)
+	sf := pattern.NewSet(pattern.MustNew(d5))
+	if _, err := Collapse(Config{MinMatch: 0.5, MemBudget: 1, Probe: oracle.probe}, sf, amb); err != nil {
+		t.Fatal(err)
+	}
+	if amb.Len() != 4 || sf.Len() != 1 {
+		t.Error("Collapse mutated its inputs")
+	}
+}
+
+func TestCollapseMixedLabelsFig6b(t *testing.T) {
+	// Figure 6(b): ambiguous region between {d1} (frequent floor) and
+	// d1d2d3d4d5 (ceiling). With frequent = subpatterns of d1d2**d5 or
+	// d1d2d3, probing the halfway layer with mixed outcomes must leave the
+	// correct final border.
+	frequentTruth := pattern.NewSet(
+		pattern.MustNew(d1, d2, d3),
+		pattern.MustNew(d1, d2, et, et, d5),
+	)
+	probe := func(ps []pattern.Pattern) ([]float64, error) {
+		out := make([]float64, len(ps))
+		for i, p := range ps {
+			if frequentTruth.CoveredBy(p) {
+				out[i] = 1
+			}
+		}
+		return out, nil
+	}
+	// The ambiguous region: all subpatterns of d1d2d3d4d5 that start with d1
+	// (a superset of what Phase 2 would hand over, which is fine).
+	top := pattern.MustNew(d1, d2, d3, d4, d5)
+	amb := pattern.NewSet(top)
+	var rec func(p pattern.Pattern)
+	rec = func(p pattern.Pattern) {
+		for _, q := range p.ImmediateSubpatterns() {
+			if q[0] == d1 && amb.Add(q) {
+				rec(q)
+			}
+		}
+	}
+	rec(top)
+
+	res, err := Collapse(Config{MinMatch: 0.5, MemBudget: 2, Probe: probe}, pattern.NewSet(), amb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range amb.Patterns() {
+		want := frequentTruth.CoveredBy(p)
+		if got := res.Frequent.Contains(p); got != want {
+			t.Errorf("%v: frequent=%v, want %v", p, got, want)
+		}
+	}
+	wantBorder := pattern.NewSet(pattern.MustNew(d1, d2, d3), pattern.MustNew(d1, d2, et, et, d5))
+	if res.Border.Len() != wantBorder.Len() {
+		t.Fatalf("border=%v", res.Border.Patterns())
+	}
+	for _, p := range wantBorder.Patterns() {
+		if !res.Border.Contains(p) {
+			t.Errorf("border missing %v", p)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	probe := func(ps []pattern.Pattern) ([]float64, error) { return make([]float64, len(ps)), nil }
+	cases := []Config{
+		{MinMatch: -0.1, MemBudget: 1, Probe: probe},
+		{MinMatch: 1.1, MemBudget: 1, Probe: probe},
+		{MinMatch: 0.5, MemBudget: 0, Probe: probe},
+		{MinMatch: 0.5, MemBudget: 1, Probe: nil},
+	}
+	for i, cfg := range cases {
+		if _, err := Collapse(cfg, pattern.NewSet(), chain(2)); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestProbeLengthMismatchDetected(t *testing.T) {
+	probe := func(ps []pattern.Pattern) ([]float64, error) { return make([]float64, len(ps)+1), nil }
+	if _, err := Collapse(Config{MinMatch: 0.5, MemBudget: 1, Probe: probe}, pattern.NewSet(), chain(2)); err == nil {
+		t.Error("mismatched probe output accepted")
+	}
+}
+
+func TestEmptyPickDetected(t *testing.T) {
+	probe := func(ps []pattern.Pattern) ([]float64, error) { return make([]float64, len(ps)), nil }
+	pick := func(pending *pattern.Set, budget int) []pattern.Pattern { return nil }
+	if _, err := Finalize(Config{MinMatch: 0.5, MemBudget: 1, Probe: probe}, pattern.NewSet(), chain(2), pick); err == nil {
+		t.Error("empty pick accepted (would loop forever)")
+	}
+}
+
+func TestSubdivisionOrder(t *testing.T) {
+	got := subdivisionOrder(1, 5)
+	if got[0] != 3 {
+		t.Errorf("first level %d, want 3 (halfway)", got[0])
+	}
+	seen := make(map[int]bool)
+	for _, l := range got {
+		if l < 1 || l > 5 {
+			t.Errorf("level %d out of range", l)
+		}
+		if seen[l] {
+			t.Errorf("level %d repeated", l)
+		}
+		seen[l] = true
+	}
+	if len(got) != 5 {
+		t.Errorf("covered %d levels, want 5", len(got))
+	}
+	if subdivisionOrder(3, 2) != nil {
+		t.Error("inverted interval should be empty")
+	}
+	single := subdivisionOrder(4, 4)
+	if len(single) != 1 || single[0] != 4 {
+		t.Errorf("single level: %v", single)
+	}
+}
+
+func TestPickHalfwayDeterministic(t *testing.T) {
+	amb := chain(9)
+	a := PickHalfway(amb, 4)
+	b := PickHalfway(amb, 4)
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("picked %d and %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("PickHalfway is not deterministic")
+		}
+	}
+}
+
+func TestCollapseRandomizedAgainstDirectProbe(t *testing.T) {
+	// Property: for random downward-closed "truth" sets over random ambiguous
+	// regions, Collapse recovers exactly truth ∩ region for any budget.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		// Random region: subpatterns of a random 6-pattern.
+		top := make(pattern.Pattern, 6)
+		for i := range top {
+			top[i] = pattern.Symbol(rng.Intn(4))
+		}
+		region := pattern.NewSet(top)
+		var rec func(p pattern.Pattern)
+		rec = func(p pattern.Pattern) {
+			for _, q := range p.ImmediateSubpatterns() {
+				if region.Add(q) {
+					rec(q)
+				}
+			}
+		}
+		rec(top)
+
+		// Random monotone truth: frequent iff subpattern of a random border.
+		members := region.Patterns()
+		truthBorder := pattern.NewSet()
+		for i := 0; i < 2; i++ {
+			truthBorder.Add(members[rng.Intn(len(members))])
+		}
+		probe := func(ps []pattern.Pattern) ([]float64, error) {
+			out := make([]float64, len(ps))
+			for i, p := range ps {
+				if truthBorder.CoveredBy(p) {
+					out[i] = 1
+				}
+			}
+			return out, nil
+		}
+		budget := 1 + rng.Intn(6)
+		res, err := Collapse(Config{MinMatch: 0.5, MemBudget: budget, Probe: probe}, pattern.NewSet(), region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range members {
+			want := truthBorder.CoveredBy(p)
+			if got := res.Frequent.Contains(p); got != want {
+				t.Fatalf("trial %d budget %d: %v frequent=%v want %v", trial, budget, p, got, want)
+			}
+		}
+	}
+}
+
+func TestCollapseScansNeverExceedPatternCount(t *testing.T) {
+	for budget := 1; budget <= 4; budget++ {
+		oracle := &levelOracle{cutoff: 2}
+		res, err := Collapse(Config{MinMatch: 0.5, MemBudget: budget, Probe: oracle.probe}, pattern.NewSet(), chain(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Scans > 8 {
+			t.Errorf("budget=%d: %d scans for 8 patterns", budget, res.Scans)
+		}
+		if res.Probed > 8 {
+			t.Errorf("budget=%d: probed %d of 8", budget, res.Probed)
+		}
+	}
+}
+
+func ExampleCollapse() {
+	// Resolve the Figure 6(a) chain with the truth "frequent up to level 2".
+	oracle := &levelOracle{cutoff: 2}
+	res, _ := Collapse(Config{MinMatch: 0.5, MemBudget: 1, Probe: oracle.probe}, pattern.NewSet(), chain(5))
+	fmt.Println("frequent:", res.Frequent.Len(), "scans:", res.Scans)
+	fmt.Println("border:", res.Border.Patterns()[0])
+	// Output:
+	// frequent: 2 scans: 2
+	// border: d1 d2
+}

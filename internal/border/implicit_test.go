@@ -1,0 +1,150 @@
+package border
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+// buildRegion derives (lowerWithFloor, ceiling, explicitAmbiguous) from a
+// monotone truth oracle over the subpattern closure of a top pattern, the
+// way Phase 2 would: sample-frequent = truth shrunk by one "uncertainty"
+// level, ambiguous = the band between.
+func buildRegion(top pattern.Pattern, truthBorder *pattern.Set) (lower, ceiling, ambiguous *pattern.Set) {
+	region := pattern.NewSet(top)
+	var rec func(p pattern.Pattern)
+	rec = func(p pattern.Pattern) {
+		for _, q := range p.ImmediateSubpatterns() {
+			if region.Add(q) {
+				rec(q)
+			}
+		}
+	}
+	rec(top)
+
+	frequent := pattern.NewSet()
+	ambiguous = pattern.NewSet()
+	for _, p := range region.Patterns() {
+		switch {
+		case truthBorder.CoveredBy(p) && p.K() <= 1:
+			// Exactly-labeled frequent singletons (Phase 1).
+			frequent.Add(p)
+		case truthBorder.CoveredBy(p) && p.K() <= truthBorder.MinK():
+			// Deep inside the frequent region: sample-confident.
+			frequent.Add(p)
+		default:
+			ambiguous.Add(p)
+		}
+	}
+	lower = pattern.Border(frequent)
+	for _, p := range frequent.Patterns() {
+		if p.K() == 1 {
+			lower.Add(p)
+		}
+	}
+	combined := frequent.Clone()
+	combined.Union(ambiguous)
+	ceiling = pattern.Border(combined)
+	return lower, ceiling, ambiguous
+}
+
+func TestCollapseImplicitMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 25; trial++ {
+		top := make(pattern.Pattern, 5)
+		for i := range top {
+			top[i] = pattern.Symbol(rng.Intn(4))
+		}
+		// Random monotone truth within the region.
+		region := pattern.NewSet(top)
+		var rec func(p pattern.Pattern)
+		rec = func(p pattern.Pattern) {
+			for _, q := range p.ImmediateSubpatterns() {
+				if region.Add(q) {
+					rec(q)
+				}
+			}
+		}
+		rec(top)
+		members := region.Patterns()
+		truthBorder := pattern.NewSet(members[rng.Intn(len(members))])
+		if rng.Intn(2) == 0 {
+			truthBorder.Add(members[rng.Intn(len(members))])
+		}
+		probe := func(ps []pattern.Pattern) ([]float64, error) {
+			out := make([]float64, len(ps))
+			for i, p := range ps {
+				if truthBorder.CoveredBy(p) {
+					out[i] = 1
+				}
+			}
+			return out, nil
+		}
+		lower, ceiling, ambiguous := buildRegion(top, truthBorder)
+		budget := 1 + rng.Intn(6)
+		cfg := Config{MinMatch: 0.5, MemBudget: budget, Probe: probe}
+
+		explicit, err := Collapse(cfg, lower, ambiguous)
+		if err != nil {
+			t.Fatal(err)
+		}
+		implicit, err := CollapseImplicit(cfg, lower, ceiling)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		label := fmt.Sprintf("trial %d budget %d", trial, budget)
+		for _, p := range explicit.Border.Patterns() {
+			if !implicit.Border.Contains(p) {
+				t.Errorf("%s: implicit border missing %v", label, p)
+			}
+		}
+		for _, p := range implicit.Border.Patterns() {
+			if !explicit.Border.Contains(p) {
+				t.Errorf("%s: implicit border extra %v", label, p)
+			}
+		}
+	}
+}
+
+func TestCollapseImplicitEmptyRegion(t *testing.T) {
+	probe := func(ps []pattern.Pattern) ([]float64, error) {
+		t.Fatal("probe called with an empty region")
+		return nil, nil
+	}
+	lower := pattern.NewSet(pattern.MustNew(0, 1))
+	res, err := CollapseImplicit(Config{MinMatch: 0.5, MemBudget: 4, Probe: probe}, lower, lower.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scans != 0 {
+		t.Errorf("Scans=%d", res.Scans)
+	}
+	if !res.Border.Contains(pattern.MustNew(0, 1)) {
+		t.Errorf("border: %v", res.Border.Patterns())
+	}
+}
+
+func TestClosure(t *testing.T) {
+	border := pattern.NewSet(pattern.MustNew(0, 1, 2))
+	closure := Closure(border, nil)
+	for _, want := range []pattern.Pattern{
+		pattern.MustNew(0, 1, 2), pattern.MustNew(0, 1), pattern.MustNew(1, 2),
+		pattern.MustNew(0, pattern.Eternal, 2),
+		pattern.MustNew(0), pattern.MustNew(1), pattern.MustNew(2),
+	} {
+		if !closure.Contains(want) {
+			t.Errorf("closure missing %v", want)
+		}
+	}
+	if closure.Len() != 7 {
+		t.Errorf("closure size %d: %v", closure.Len(), closure.Patterns())
+	}
+}
+
+func TestCollapseImplicitValidation(t *testing.T) {
+	if _, err := CollapseImplicit(Config{}, pattern.NewSet(), pattern.NewSet()); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

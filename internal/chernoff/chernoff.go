@@ -1,0 +1,114 @@
+// Package chernoff implements the additive Chernoff (Hoeffding) bound used
+// by Phase 2 to classify patterns from a sample (Claim 4.1), together with
+// the restricted spread of Claim 4.2 that tightens the bound by the minimum
+// symbol match of a pattern.
+package chernoff
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/pattern"
+)
+
+// Epsilon returns ε = sqrt(R²·ln(1/δ) / (2n)): with probability 1-δ the true
+// mean of a spread-R variable lies within ε of the mean of n samples.
+func Epsilon(spread, delta float64, n int) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(spread * spread * math.Log(1/delta) / (2 * float64(n)))
+}
+
+// SampleSize returns the smallest n for which Epsilon(spread, delta, n) <= eps
+// — the planning inverse of Epsilon, used to size a sample for a target bound.
+func SampleSize(spread, delta, eps float64) int {
+	if eps <= 0 {
+		return math.MaxInt
+	}
+	n := spread * spread * math.Log(1/delta) / (2 * eps * eps)
+	return int(math.Ceil(n))
+}
+
+// RestrictedSpread implements Claim 4.2: the match of a pattern can never
+// exceed the minimum database match of its constituent symbols, so that
+// minimum is a valid (much tighter) spread R for the Chernoff bound.
+// symbolMatch must hold the full-database match of every symbol (Phase 1's
+// output). The restricted spread of a pattern with no concrete symbols is 1.
+func RestrictedSpread(p pattern.Pattern, symbolMatch []float64) float64 {
+	r := 1.0
+	for _, d := range p {
+		if d.IsEternal() {
+			continue
+		}
+		if v := symbolMatch[d]; v < r {
+			r = v
+		}
+	}
+	return r
+}
+
+// Label is the three-way classification of a pattern from sample evidence.
+type Label int8
+
+const (
+	// Infrequent: sample match < min_match - ε (infrequent w.p. 1-δ).
+	Infrequent Label = iota
+	// Ambiguous: within ε of the threshold; needs full-database probing.
+	Ambiguous
+	// Frequent: sample match > min_match + ε (frequent w.p. 1-δ).
+	Frequent
+)
+
+// String renders the label for experiment output.
+func (l Label) String() string {
+	switch l {
+	case Infrequent:
+		return "infrequent"
+	case Ambiguous:
+		return "ambiguous"
+	case Frequent:
+		return "frequent"
+	default:
+		return fmt.Sprintf("Label(%d)", int8(l))
+	}
+}
+
+// Classifier bundles the threshold and confidence of Claim 4.1.
+type Classifier struct {
+	MinMatch float64 // the user's min_match threshold
+	Delta    float64 // 1 - confidence
+	N        int     // sample size
+}
+
+// NewClassifier validates the parameters.
+func NewClassifier(minMatch, delta float64, n int) (*Classifier, error) {
+	if minMatch < 0 || minMatch > 1 {
+		return nil, fmt.Errorf("chernoff: min_match %v outside [0,1]", minMatch)
+	}
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("chernoff: delta %v outside (0,1)", delta)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("chernoff: sample size %d", n)
+	}
+	return &Classifier{MinMatch: minMatch, Delta: delta, N: n}, nil
+}
+
+// Epsilon returns the bound for a pattern of the given spread.
+func (c *Classifier) Epsilon(spread float64) float64 {
+	return Epsilon(spread, c.Delta, c.N)
+}
+
+// Classify labels a pattern by its sample match and spread (Claim 4.1).
+func (c *Classifier) Classify(sampleMatch, spread float64) Label {
+	eps := c.Epsilon(spread)
+	switch {
+	case sampleMatch > c.MinMatch+eps:
+		return Frequent
+	case sampleMatch < c.MinMatch-eps:
+		return Infrequent
+	default:
+		return Ambiguous
+	}
+}

@@ -1,0 +1,178 @@
+package chernoff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pattern"
+)
+
+func TestEpsilonPaperExample(t *testing.T) {
+	// §4: spread 1, n = 10000, confidence 99.99% (δ=0.0001) ⇒ ε ≈ 0.0215.
+	got := Epsilon(1, 0.0001, 10000)
+	if math.Abs(got-0.0215) > 0.0005 {
+		t.Errorf("ε=%v, want ≈0.0215", got)
+	}
+}
+
+func TestEpsilonScalesLinearlyWithSpread(t *testing.T) {
+	// §4.1: "ε is linearly proportional to R" — R=0.05 cuts ε by 95%.
+	e1 := Epsilon(1, 0.001, 5000)
+	e2 := Epsilon(0.05, 0.001, 5000)
+	if math.Abs(e2-0.05*e1) > 1e-12 {
+		t.Errorf("ε(R=0.05)=%v, want %v", e2, 0.05*e1)
+	}
+}
+
+func TestEpsilonEdgeCases(t *testing.T) {
+	if !math.IsInf(Epsilon(1, 0.001, 0), 1) {
+		t.Error("n=0 should give infinite ε")
+	}
+	if got := Epsilon(0, 0.001, 100); got != 0 {
+		t.Errorf("zero spread: ε=%v", got)
+	}
+}
+
+func TestSampleSizeInvertsEpsilon(t *testing.T) {
+	for _, tc := range []struct{ spread, delta, eps float64 }{
+		{1, 0.0001, 0.0215},
+		{0.05, 0.001, 0.001},
+		{0.5, 0.01, 0.01},
+	} {
+		n := SampleSize(tc.spread, tc.delta, tc.eps)
+		if got := Epsilon(tc.spread, tc.delta, n); got > tc.eps+1e-12 {
+			t.Errorf("SampleSize(%v,%v,%v)=%d but ε=%v > target", tc.spread, tc.delta, tc.eps, n, got)
+		}
+		if n > 1 {
+			if got := Epsilon(tc.spread, tc.delta, n-1); got <= tc.eps {
+				t.Errorf("SampleSize not minimal: n-1=%d already gives ε=%v", n-1, got)
+			}
+		}
+	}
+	if SampleSize(1, 0.001, 0) != math.MaxInt {
+		t.Error("eps=0 should be unattainable")
+	}
+}
+
+func TestRestrictedSpread(t *testing.T) {
+	// §4.1 example: matches of d1 and d2 are 0.1 and 0.05 ⇒ R(d1 * d2)=0.05.
+	symbolMatch := []float64{0.1, 0.05, 0.9}
+	p := pattern.MustNew(0, pattern.Eternal, 1)
+	if got := RestrictedSpread(p, symbolMatch); got != 0.05 {
+		t.Errorf("R=%v, want 0.05", got)
+	}
+	// Eternal positions do not constrain the spread.
+	q := pattern.MustNew(2)
+	if got := RestrictedSpread(q, symbolMatch); got != 0.9 {
+		t.Errorf("R=%v, want 0.9", got)
+	}
+}
+
+func TestClassifier(t *testing.T) {
+	c, err := NewClassifier(0.1, 0.0001, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := c.Epsilon(1) // ≈ 0.0215
+	cases := []struct {
+		m    float64
+		want Label
+	}{
+		{0.1 + eps + 0.001, Frequent},
+		{0.1 - eps - 0.001, Infrequent},
+		{0.1, Ambiguous},
+		{0.1 + eps/2, Ambiguous},
+		{0.1 - eps/2, Ambiguous},
+	}
+	for _, tc := range cases {
+		if got := c.Classify(tc.m, 1); got != tc.want {
+			t.Errorf("Classify(%v)=%v, want %v", tc.m, got, tc.want)
+		}
+	}
+}
+
+func TestClassifierTighterSpreadShrinksAmbiguity(t *testing.T) {
+	c, _ := NewClassifier(0.01, 0.001, 1000)
+	m := 0.01 + 0.01 // slightly above the threshold
+	if got := c.Classify(m, 1); got != Ambiguous {
+		t.Fatalf("wide spread should be ambiguous, got %v", got)
+	}
+	if got := c.Classify(m, 0.05); got != Frequent {
+		t.Errorf("restricted spread should resolve to frequent, got %v", got)
+	}
+}
+
+func TestNewClassifierValidation(t *testing.T) {
+	if _, err := NewClassifier(-0.1, 0.001, 10); err == nil {
+		t.Error("negative min_match accepted")
+	}
+	if _, err := NewClassifier(1.5, 0.001, 10); err == nil {
+		t.Error("min_match > 1 accepted")
+	}
+	if _, err := NewClassifier(0.1, 0, 10); err == nil {
+		t.Error("delta = 0 accepted")
+	}
+	if _, err := NewClassifier(0.1, 1, 10); err == nil {
+		t.Error("delta = 1 accepted")
+	}
+	if _, err := NewClassifier(0.1, 0.001, 0); err == nil {
+		t.Error("n = 0 accepted")
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	if Frequent.String() != "frequent" || Infrequent.String() != "infrequent" || Ambiguous.String() != "ambiguous" {
+		t.Error("Label.String broken")
+	}
+	if Label(9).String() == "" {
+		t.Error("unknown label should still render")
+	}
+}
+
+func TestQuickEpsilonMonotonicity(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	f := func() bool {
+		spread := r.Float64()
+		delta := 0.0001 + 0.9*r.Float64()
+		n := 1 + r.Intn(100000)
+		e := Epsilon(spread, delta, n)
+		// More samples never widen the bound; higher confidence never
+		// narrows it; larger spread never narrows it.
+		return Epsilon(spread, delta, n*2) <= e+1e-15 &&
+			Epsilon(spread, delta/2, n) >= e-1e-15 &&
+			Epsilon(spread*1.5, delta, n) >= e-1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickChernoffCoverage(t *testing.T) {
+	// Statistical sanity: for a Bernoulli(p) variable, the true mean must lie
+	// within ε of the sample mean far more often than 1-δ (the bound is
+	// conservative, §4.2).
+	r := rand.New(rand.NewSource(6))
+	const trials = 400
+	misses := 0
+	for trial := 0; trial < trials; trial++ {
+		p := r.Float64()
+		n := 500
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				sum++
+			}
+		}
+		mu := sum / float64(n)
+		eps := Epsilon(1, 0.01, n)
+		if math.Abs(mu-p) > eps {
+			misses++
+		}
+	}
+	// δ=0.01 per side; even doubled and with slack, misses should be rare.
+	if misses > trials/20 {
+		t.Errorf("Chernoff bound violated %d/%d times", misses, trials)
+	}
+}

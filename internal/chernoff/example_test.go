@@ -1,0 +1,26 @@
+package chernoff_test
+
+import (
+	"fmt"
+
+	"repro/internal/chernoff"
+	"repro/internal/pattern"
+)
+
+// ExampleEpsilon reproduces the paper's §4 numeric example: with spread 1,
+// 10000 samples and 99.99% confidence, the bound is about 0.0215.
+func ExampleEpsilon() {
+	fmt.Printf("%.4f\n", chernoff.Epsilon(1, 0.0001, 10000))
+	// Output: 0.0215
+}
+
+// ExampleRestrictedSpread reproduces the §4.1 example: with symbol matches
+// 0.1 and 0.05, the spread of d1 * d2 is 0.05 — cutting ε by 95% versus the
+// default spread of 1.
+func ExampleRestrictedSpread() {
+	symbolMatch := []float64{0.1, 0.05}
+	p := pattern.MustNew(0, pattern.Eternal, 1)
+	r := chernoff.RestrictedSpread(p, symbolMatch)
+	fmt.Printf("R=%.2f, epsilon shrinks %.0fx\n", r, chernoff.Epsilon(1, 0.001, 5000)/chernoff.Epsilon(r, 0.001, 5000))
+	// Output: R=0.05, epsilon shrinks 20x
+}

@@ -1,0 +1,81 @@
+package compat
+
+import (
+	"fmt"
+
+	"repro/internal/pattern"
+)
+
+// LearnFromPairs estimates a compatibility matrix from paired training data
+// — aligned (true, observed) sequence pairs, as produced by experiments
+// where ground truth is known (the paper's §3 notes the matrix "can be
+// either given by a domain expert or learned from a training data set").
+//
+// Substitution frequencies count(true=i, observed=j) are accumulated with
+// optional additive (Laplace) smoothing, normalized into the generative
+// channel Prob(observed | true), and inverted by Bayes' rule with the
+// empirical true-symbol prior. Observed symbols never seen in training get
+// identity columns (via FromChannel's dead-column rule).
+func LearnFromPairs(m int, truth, observed [][]pattern.Symbol, smoothing float64) (*Matrix, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("compat: alphabet size %d < 1", m)
+	}
+	if len(truth) != len(observed) {
+		return nil, fmt.Errorf("compat: %d true sequences vs %d observed", len(truth), len(observed))
+	}
+	if smoothing < 0 {
+		return nil, fmt.Errorf("compat: negative smoothing %v", smoothing)
+	}
+	counts := make([][]float64, m)
+	for i := range counts {
+		counts[i] = make([]float64, m)
+		for j := range counts[i] {
+			counts[i][j] = smoothing
+		}
+	}
+	prior := make([]float64, m)
+	total := 0.0
+	for s := range truth {
+		tSeq, oSeq := truth[s], observed[s]
+		if len(tSeq) != len(oSeq) {
+			return nil, fmt.Errorf("compat: pair %d length mismatch (%d vs %d)", s, len(tSeq), len(oSeq))
+		}
+		for pos := range tSeq {
+			ti, oi := tSeq[pos], oSeq[pos]
+			if ti < 0 || int(ti) >= m || oi < 0 || int(oi) >= m {
+				return nil, fmt.Errorf("compat: pair %d position %d: symbol out of range", s, pos)
+			}
+			counts[ti][oi]++
+			prior[ti]++
+			total++
+		}
+	}
+	if total == 0 && smoothing == 0 {
+		return nil, fmt.Errorf("compat: no training positions")
+	}
+	sub := make([][]float64, m)
+	for i := range sub {
+		sub[i] = make([]float64, m)
+		rowSum := 0.0
+		for _, v := range counts[i] {
+			rowSum += v
+		}
+		if rowSum == 0 {
+			sub[i][i] = 1 // unseen true symbol: assume it is observed as-is
+			continue
+		}
+		for j, v := range counts[i] {
+			sub[i][j] = v / rowSum
+		}
+	}
+	if total > 0 {
+		for i := range prior {
+			prior[i] /= total
+		}
+	} else {
+		for i := range prior {
+			prior[i] = 1 / float64(m)
+		}
+	}
+	return FromChannel(sub, prior)
+}

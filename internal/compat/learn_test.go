@@ -1,0 +1,101 @@
+package compat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+func TestLearnFromPairsRecoversChannel(t *testing.T) {
+	// Generate paired data from a known channel and check the learned
+	// matrix converges to the analytic one.
+	const m, alpha = 6, 0.25
+	want, err := UniformNoise(m, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var truth, observed [][]pattern.Symbol
+	for s := 0; s < 400; s++ {
+		tSeq := make([]pattern.Symbol, 50)
+		oSeq := make([]pattern.Symbol, 50)
+		for i := range tSeq {
+			d := pattern.Symbol(rng.Intn(m))
+			tSeq[i] = d
+			if rng.Float64() < alpha {
+				o := pattern.Symbol(rng.Intn(m - 1))
+				if o >= d {
+					o++
+				}
+				oSeq[i] = o
+			} else {
+				oSeq[i] = d
+			}
+		}
+		truth = append(truth, tSeq)
+		observed = append(observed, oSeq)
+	}
+	got, err := LearnFromPairs(m, truth, observed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			g := got.C(pattern.Symbol(i), pattern.Symbol(j))
+			w := want.C(pattern.Symbol(i), pattern.Symbol(j))
+			if math.Abs(g-w) > 0.05 {
+				t.Errorf("C(%d,%d): learned %v vs analytic %v", i, j, g, w)
+			}
+		}
+	}
+}
+
+func TestLearnFromPairsUnseenSymbols(t *testing.T) {
+	// Symbols never seen in training must still yield a valid matrix.
+	truth := [][]pattern.Symbol{{0, 1, 0}}
+	observed := [][]pattern.Symbol{{0, 1, 1}}
+	c, err := LearnFromPairs(4, truth, observed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 4; j++ {
+		sum := 0.0
+		for i := 0; i < 4; i++ {
+			sum += c.C(pattern.Symbol(i), pattern.Symbol(j))
+		}
+		if math.Abs(sum-1) > SumTolerance {
+			t.Errorf("column %d sums to %v", j, sum)
+		}
+	}
+	// Unseen symbol 3 gets an identity column (dead-column rule).
+	if got := c.C(3, 3); got != 1 {
+		t.Errorf("C(3,3)=%v, want 1", got)
+	}
+}
+
+func TestLearnFromPairsValidation(t *testing.T) {
+	ok := [][]pattern.Symbol{{0}}
+	if _, err := LearnFromPairs(0, ok, ok, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := LearnFromPairs(2, ok, nil, 0); err == nil {
+		t.Error("mismatched pair counts accepted")
+	}
+	if _, err := LearnFromPairs(2, [][]pattern.Symbol{{0, 1}}, [][]pattern.Symbol{{0}}, 0); err == nil {
+		t.Error("length-mismatched pair accepted")
+	}
+	if _, err := LearnFromPairs(2, [][]pattern.Symbol{{5}}, [][]pattern.Symbol{{0}}, 0); err == nil {
+		t.Error("out-of-range symbol accepted")
+	}
+	if _, err := LearnFromPairs(2, ok, ok, -1); err == nil {
+		t.Error("negative smoothing accepted")
+	}
+	if _, err := LearnFromPairs(2, nil, nil, 0); err == nil {
+		t.Error("empty training with no smoothing accepted")
+	}
+	if _, err := LearnFromPairs(2, nil, nil, 0.5); err != nil {
+		t.Errorf("smoothed empty training rejected: %v", err)
+	}
+}

@@ -1,0 +1,63 @@
+package compat
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Perturb implements the Figure 8 error model: for each symbol d_i, the
+// diagonal cell C(d_i,d_i) is varied by the fraction errFrac (equally likely
+// increased or decreased, clamped to [0,1]), and the remaining entries of the
+// same column are rescaled so the column still sums to 1. It models a
+// compatibility matrix that is only an empirical approximation of the true
+// substitution behavior.
+//
+// When a diagonal entry must shrink but the rest of its column is all zero
+// (an exact identity column), the released mass is spread uniformly over the
+// other symbols. The receiver is not modified; a new matrix is returned.
+func (c *Matrix) Perturb(errFrac float64, rng *rand.Rand) (*Matrix, error) {
+	if errFrac < 0 || errFrac > 1 {
+		return nil, fmt.Errorf("compat: error fraction %v outside [0,1]", errFrac)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("compat: nil rng")
+	}
+	dense := c.Dense()
+	m := c.m
+	for j := 0; j < m; j++ {
+		oldDiag := dense[j][j]
+		delta := oldDiag * errFrac
+		if rng.Intn(2) == 0 {
+			delta = -delta
+		}
+		newDiag := oldDiag + delta
+		if newDiag > 1 {
+			newDiag = 1
+		}
+		if newDiag < 0 {
+			newDiag = 0
+		}
+		rest := 1 - oldDiag
+		newRest := 1 - newDiag
+		switch {
+		case rest > 0:
+			scale := newRest / rest
+			for i := 0; i < m; i++ {
+				if i != j {
+					dense[i][j] *= scale
+				}
+			}
+		case newRest > 0 && m > 1:
+			share := newRest / float64(m-1)
+			for i := 0; i < m; i++ {
+				if i != j {
+					dense[i][j] = share
+				}
+			}
+		default:
+			newDiag = 1 // m == 1 or nothing to redistribute: keep the column exact
+		}
+		dense[j][j] = newDiag
+	}
+	return New(dense)
+}

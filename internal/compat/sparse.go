@@ -1,0 +1,149 @@
+package compat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/pattern"
+)
+
+// Source is the read interface shared by the dense Matrix and the
+// SparseMatrix. The match computation and the miners consume this interface,
+// so very large alphabets (the paper's §6 E-commerce direction, Figure 15)
+// can use O(non-zeros) storage instead of O(m²).
+type Source interface {
+	// Size returns the number of distinct symbols m.
+	Size() int
+	// C returns Prob(true = t | observed = o); 1 when t is eternal.
+	C(t, o pattern.Symbol) float64
+	// TrueGiven returns the non-zero (true symbol, probability) entries of
+	// an observed column.
+	TrueGiven(observed pattern.Symbol) []Entry
+	// ObservedGiven returns the non-zero (observed symbol, probability)
+	// entries of a true-value row.
+	ObservedGiven(t pattern.Symbol) []Entry
+}
+
+// Cell is one non-zero matrix entry used to construct a SparseMatrix.
+type Cell struct {
+	True, Observed pattern.Symbol
+	P              float64
+}
+
+// SparseMatrix is a compatibility matrix stored as adjacency lists only;
+// memory is linear in the number of non-zero cells. Lookups by (true,
+// observed) pair use binary search within the true-value row.
+type SparseMatrix struct {
+	m          int
+	byTrue     [][]Entry // sorted by observed symbol
+	byObserved [][]Entry
+}
+
+var _ Source = (*SparseMatrix)(nil)
+var _ Source = (*Matrix)(nil)
+
+// NewSparse validates and builds a sparse matrix from non-zero cells. As
+// with the dense constructor, every observed column must sum to 1 within
+// SumTolerance; duplicate (true, observed) cells are an error.
+func NewSparse(m int, cells []Cell) (*SparseMatrix, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("compat: non-positive size %d", m)
+	}
+	s := &SparseMatrix{
+		m:          m,
+		byTrue:     make([][]Entry, m),
+		byObserved: make([][]Entry, m),
+	}
+	colSum := make([]float64, m)
+	for _, c := range cells {
+		if c.True < 0 || int(c.True) >= m || c.Observed < 0 || int(c.Observed) >= m {
+			return nil, fmt.Errorf("compat: cell (%d,%d) out of range", c.True, c.Observed)
+		}
+		if c.P <= 0 || c.P > 1 || math.IsNaN(c.P) {
+			return nil, fmt.Errorf("compat: cell (%d,%d) probability %v outside (0,1]", c.True, c.Observed, c.P)
+		}
+		s.byTrue[c.True] = append(s.byTrue[c.True], Entry{Sym: c.Observed, P: c.P})
+		s.byObserved[c.Observed] = append(s.byObserved[c.Observed], Entry{Sym: c.True, P: c.P})
+		colSum[c.Observed] += c.P
+	}
+	for j, sum := range colSum {
+		if math.Abs(sum-1) > SumTolerance {
+			return nil, fmt.Errorf("compat: column %d sums to %v, want 1", j, sum)
+		}
+	}
+	for i := range s.byTrue {
+		row := s.byTrue[i]
+		sort.Slice(row, func(a, b int) bool { return row[a].Sym < row[b].Sym })
+		for k := 1; k < len(row); k++ {
+			if row[k].Sym == row[k-1].Sym {
+				return nil, fmt.Errorf("compat: duplicate cell (%d,%d)", i, row[k].Sym)
+			}
+		}
+	}
+	for j := range s.byObserved {
+		col := s.byObserved[j]
+		sort.Slice(col, func(a, b int) bool { return col[a].Sym < col[b].Sym })
+	}
+	return s, nil
+}
+
+// Size returns the number of distinct symbols m.
+func (s *SparseMatrix) Size() int { return s.m }
+
+// C returns Prob(true = t | observed = o); 1 when t is eternal, 0 when the
+// cell is absent.
+func (s *SparseMatrix) C(t, o pattern.Symbol) float64 {
+	if t.IsEternal() {
+		return 1
+	}
+	row := s.byTrue[t]
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case row[mid].Sym < o:
+			lo = mid + 1
+		case row[mid].Sym > o:
+			hi = mid
+		default:
+			return row[mid].P
+		}
+	}
+	return 0
+}
+
+// TrueGiven returns the non-zero entries of an observed column.
+func (s *SparseMatrix) TrueGiven(observed pattern.Symbol) []Entry {
+	return s.byObserved[observed]
+}
+
+// ObservedGiven returns the non-zero entries of a true-value row.
+func (s *SparseMatrix) ObservedGiven(t pattern.Symbol) []Entry {
+	return s.byTrue[t]
+}
+
+// NonZero returns the number of stored cells.
+func (s *SparseMatrix) NonZero() int {
+	n := 0
+	for _, col := range s.byObserved {
+		n += len(col)
+	}
+	return n
+}
+
+// Sparse converts a dense matrix to its sparse representation (mainly for
+// tests and for callers that want uniform handling).
+func (c *Matrix) Sparse() *SparseMatrix {
+	var cells []Cell
+	for i := 0; i < c.m; i++ {
+		for _, e := range c.ObservedGiven(pattern.Symbol(i)) {
+			cells = append(cells, Cell{True: pattern.Symbol(i), Observed: e.Sym, P: e.P})
+		}
+	}
+	s, err := NewSparse(c.m, cells)
+	if err != nil {
+		panic(err) // unreachable: a valid dense matrix converts cleanly
+	}
+	return s
+}

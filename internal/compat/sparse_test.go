@@ -1,0 +1,107 @@
+package compat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+func TestSparseAgreesWithDense(t *testing.T) {
+	dense := Fig2()
+	sparse := dense.Sparse()
+	if sparse.Size() != dense.Size() {
+		t.Fatalf("Size=%d", sparse.Size())
+	}
+	if sparse.NonZero() != dense.NonZero() {
+		t.Fatalf("NonZero: sparse %d vs dense %d", sparse.NonZero(), dense.NonZero())
+	}
+	for i := pattern.Symbol(0); i < 5; i++ {
+		for j := pattern.Symbol(0); j < 5; j++ {
+			if sparse.C(i, j) != dense.C(i, j) {
+				t.Errorf("C(%d,%d): sparse %v vs dense %v", i, j, sparse.C(i, j), dense.C(i, j))
+			}
+		}
+		if sparse.C(pattern.Eternal, i) != 1 {
+			t.Error("eternal compatibility must be 1")
+		}
+		if len(sparse.TrueGiven(i)) != len(dense.TrueGiven(i)) {
+			t.Errorf("TrueGiven(%d) size mismatch", i)
+		}
+		if len(sparse.ObservedGiven(i)) != len(dense.ObservedGiven(i)) {
+			t.Errorf("ObservedGiven(%d) size mismatch", i)
+		}
+	}
+}
+
+func TestNewSparseValidation(t *testing.T) {
+	if _, err := NewSparse(0, nil); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := NewSparse(2, []Cell{{True: 0, Observed: 0, P: 1}}); err == nil {
+		t.Error("column 1 summing to 0 accepted")
+	}
+	if _, err := NewSparse(2, []Cell{
+		{True: 0, Observed: 0, P: 1}, {True: 5, Observed: 1, P: 1},
+	}); err == nil {
+		t.Error("out-of-range cell accepted")
+	}
+	if _, err := NewSparse(2, []Cell{
+		{True: 0, Observed: 0, P: 1.5}, {True: 1, Observed: 1, P: 1},
+	}); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if _, err := NewSparse(2, []Cell{
+		{True: 0, Observed: 0, P: 0.5}, {True: 0, Observed: 0, P: 0.5},
+		{True: 1, Observed: 1, P: 1},
+	}); err == nil {
+		t.Error("duplicate cell accepted")
+	}
+	ok, err := NewSparse(2, []Cell{
+		{True: 0, Observed: 0, P: 0.9}, {True: 1, Observed: 0, P: 0.1},
+		{True: 1, Observed: 1, P: 1},
+	})
+	if err != nil {
+		t.Fatalf("valid sparse rejected: %v", err)
+	}
+	if got := ok.C(1, 0); got != 0.1 {
+		t.Errorf("C(1,0)=%v", got)
+	}
+	if got := ok.C(0, 1); got != 0 {
+		t.Errorf("absent cell C(0,1)=%v, want 0", got)
+	}
+}
+
+func TestSparseBinarySearchRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 20; trial++ {
+		m := 3 + rng.Intn(30)
+		dense := make([][]float64, m)
+		for i := range dense {
+			dense[i] = make([]float64, m)
+		}
+		for j := 0; j < m; j++ {
+			var nz []int
+			for i := 0; i < m; i++ {
+				if rng.Intn(3) == 0 {
+					nz = append(nz, i)
+				}
+			}
+			if len(nz) == 0 {
+				nz = []int{j}
+			}
+			for _, i := range nz {
+				dense[i][j] = 1 / float64(len(nz))
+			}
+		}
+		d := MustNew(dense)
+		s := d.Sparse()
+		for i := pattern.Symbol(0); int(i) < m; i++ {
+			for j := pattern.Symbol(0); int(j) < m; j++ {
+				if s.C(i, j) != d.C(i, j) {
+					t.Fatalf("trial %d: C(%d,%d) mismatch", trial, i, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package core orchestrates the paper's three-phase probabilistic mining
+// algorithm (§4):
+//
+//  1. one scan of the sequence database computing every symbol's exact match
+//     and drawing a random sample (Algorithm 4.1),
+//  2. in-memory level-wise mining of the sample, classifying patterns as
+//     frequent / ambiguous / infrequent with the Chernoff bound and the
+//     restricted spread (Algorithm 4.2, Claims 4.1/4.2),
+//  3. finalizing the border of frequent patterns by probing the ambiguous
+//     region against the full database — by border collapsing (Algorithm
+//     4.3, the paper's contribution) or level-wise (the Toivonen-style
+//     baseline), under a memory budget of counters per scan.
+//
+// The database is only ever accessed through seqdb.Scanner, so the number of
+// full passes — the paper's headline cost metric — is directly observable.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/border"
+	"repro/internal/compat"
+	"repro/internal/levelwise"
+	"repro/internal/match"
+	"repro/internal/miner"
+	"repro/internal/pattern"
+	"repro/internal/sampling"
+	"repro/internal/seqdb"
+	"repro/internal/support"
+)
+
+// Finalizer selects the Phase 3 strategy.
+type Finalizer int
+
+const (
+	// BorderCollapsing probes halfway layers first (Algorithm 4.3).
+	BorderCollapsing Finalizer = iota
+	// LevelWise probes the ambiguous region bottom-up (sampling-based
+	// level-wise search, the §5.6 baseline).
+	LevelWise
+	// None skips Phase 3: the result is Phase 2's frequent set, with the
+	// ambiguous patterns left unresolved (useful for sample-only studies).
+	None
+	// BorderCollapsingImplicit is the paper-verbatim Algorithm 4.3: probe
+	// layers are generated between the Phase 2 borders with Algorithm 4.4,
+	// and the ambiguous region is never materialized. Its lattice is the
+	// paper's full sub-pattern closure — starring any subset of positions —
+	// so when MaxGap < MaxLen-2 it legitimately resolves gapped patterns
+	// the truncated candidate space never enumerated (all genuinely
+	// frequent by Apriori). With MaxGap >= MaxLen-2 the spaces coincide and
+	// the Border equals BorderCollapsing's exactly; Frequent is always the
+	// downward closure of Border.
+	BorderCollapsingImplicit
+)
+
+// String names the finalizer for experiment output.
+func (f Finalizer) String() string {
+	switch f {
+	case BorderCollapsing:
+		return "border-collapsing"
+	case LevelWise:
+		return "level-wise"
+	case None:
+		return "none"
+	case BorderCollapsingImplicit:
+		return "border-collapsing-implicit"
+	default:
+		return fmt.Sprintf("Finalizer(%d)", int(f))
+	}
+}
+
+// Config parameterizes a mining run. Zero values select sensible defaults
+// where noted.
+type Config struct {
+	// MinMatch is the significance threshold (required, in (0,1]).
+	MinMatch float64
+	// Delta is the Chernoff failure probability; confidence is 1-Delta.
+	// Default 1e-4 (the paper's 99.99%).
+	Delta float64
+	// SampleSize is the number of sequences sampled in Phase 1 (clamped to
+	// the database size). Default 1000.
+	SampleSize int
+	// MaxLen bounds total pattern length (required, >= 1).
+	MaxLen int
+	// MaxGap bounds runs of eternal symbols inside a pattern. Default 0.
+	MaxGap int
+	// MaxCandidatesPerLevel caps Phase 2's per-level candidate count
+	// (0 = unlimited).
+	MaxCandidatesPerLevel int
+	// MemBudget is the number of pattern counters Phase 3 may hold per scan.
+	// Default 10000.
+	MemBudget int
+	// Finalizer selects the Phase 3 strategy. Default BorderCollapsing.
+	Finalizer Finalizer
+	// Workers > 1 spreads each Phase 3 probe scan's counting work across
+	// that many goroutines (-1 = GOMAXPROCS); the scan itself remains one
+	// sequential pass. Default 0 (sequential).
+	Workers int
+	// Rng drives the sampling; required for reproducibility.
+	Rng *rand.Rand
+}
+
+// probeValuer picks the sequential or parallel counting kernel.
+func (c *Config) probeValuer(db seqdb.Scanner, src compat.Source) miner.Valuer {
+	if c.Workers == 0 || c.Workers == 1 {
+		return miner.MatchDBValuer(db, src)
+	}
+	return miner.ParallelMatchDBValuer(db, src, c.Workers)
+}
+
+func (c *Config) setDefaults() {
+	if c.Delta == 0 {
+		c.Delta = 1e-4
+	}
+	if c.SampleSize == 0 {
+		c.SampleSize = 1000
+	}
+	if c.MemBudget == 0 {
+		c.MemBudget = 10000
+	}
+}
+
+func (c *Config) validate() error {
+	if c.MinMatch <= 0 || c.MinMatch > 1 {
+		return fmt.Errorf("core: MinMatch %v outside (0,1]", c.MinMatch)
+	}
+	if c.Delta <= 0 || c.Delta >= 1 {
+		return fmt.Errorf("core: Delta %v outside (0,1)", c.Delta)
+	}
+	if c.SampleSize < 1 {
+		return fmt.Errorf("core: SampleSize %d < 1", c.SampleSize)
+	}
+	if c.MaxLen < 1 {
+		return fmt.Errorf("core: MaxLen %d < 1", c.MaxLen)
+	}
+	if c.MaxGap < 0 {
+		return fmt.Errorf("core: negative MaxGap")
+	}
+	if c.MemBudget < 1 {
+		return fmt.Errorf("core: MemBudget %d < 1", c.MemBudget)
+	}
+	if c.Rng == nil {
+		return fmt.Errorf("core: Rng is required")
+	}
+	if c.Finalizer < BorderCollapsing || c.Finalizer > BorderCollapsingImplicit {
+		return fmt.Errorf("core: unknown finalizer %d", c.Finalizer)
+	}
+	return nil
+}
+
+// Result reports a complete mining run.
+type Result struct {
+	// Frequent is the final frequent set and Border its border (FQT).
+	Frequent *pattern.Set
+	Border   *pattern.Set
+	// SymbolMatch holds Phase 1's exact per-symbol matches.
+	SymbolMatch []float64
+	// SampleSize is the number of sequences actually sampled.
+	SampleSize int
+	// Phase2 is the sample-mining result (labels, borders, level counts).
+	Phase2 *miner.Result
+	// Phase3 is the finalization result (nil when Finalizer is None or no
+	// ambiguous patterns remained).
+	Phase3 *border.Result
+	// Scans is the total number of full database scans (Phase 1's single
+	// scan plus Phase 3's probe scans).
+	Scans int
+	// Phase timings, for the Figure 14 CPU-time comparison.
+	Phase1Time, Phase2Time, Phase3Time time.Duration
+}
+
+// Mine runs the full three-phase algorithm over db with the compatibility
+// source c.
+func Mine(db seqdb.Scanner, c compat.Source, cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if db.Len() == 0 {
+		return nil, fmt.Errorf("core: empty database")
+	}
+
+	// Phase 1: symbol matches + sample, one scan.
+	start := time.Now()
+	symbolMatch, sample, err := Phase1(db, c, cfg.SampleSize, cfg.Rng)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		SymbolMatch: symbolMatch,
+		SampleSize:  len(sample),
+		Scans:       1,
+		Phase1Time:  time.Since(start),
+	}
+
+	// Phase 2: sample mining with Chernoff classification.
+	start = time.Now()
+	opts := miner.Options{
+		MaxLen:                cfg.MaxLen,
+		MaxGap:                cfg.MaxGap,
+		MaxCandidatesPerLevel: cfg.MaxCandidatesPerLevel,
+	}
+	res.Phase2, err = miner.SampleChernoff(c.Size(), miner.MatchSampleValuer(c, sample),
+		symbolMatch, cfg.MinMatch, cfg.Delta, len(sample), opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Phase2Time = time.Since(start)
+
+	// Phase 3: finalize the border against the full database.
+	start = time.Now()
+	if cfg.Finalizer == None || res.Phase2.Ambiguous.Len() == 0 {
+		res.Frequent = res.Phase2.Frequent.Clone()
+		res.Border = pattern.Border(res.Frequent)
+		res.Phase3Time = time.Since(start)
+		return res, nil
+	}
+	probeCfg := border.Config{
+		MinMatch:  cfg.MinMatch,
+		MemBudget: cfg.MemBudget,
+		Probe:     cfg.probeValuer(db, c),
+	}
+	switch cfg.Finalizer {
+	case BorderCollapsing:
+		res.Phase3, err = border.Collapse(probeCfg, res.Phase2.Frequent, res.Phase2.Ambiguous)
+	case LevelWise:
+		res.Phase3, err = levelwiseFinalize(probeCfg, res.Phase2.Frequent, res.Phase2.Ambiguous)
+	case BorderCollapsingImplicit:
+		res.Phase3, err = border.CollapseImplicit(probeCfg, implicitLower(res.Phase2), res.Phase2.Ceiling)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Frequent = res.Phase3.Frequent
+	res.Border = res.Phase3.Border
+	res.Scans += res.Phase3.Scans
+	res.Phase3Time = time.Since(start)
+	return res, nil
+}
+
+// implicitLower assembles CollapseImplicit's lower border: the FQT plus the
+// frequent 1-patterns, which the implicit layer generation needs as
+// generators beneath every region member.
+func implicitLower(p2 *miner.Result) *pattern.Set {
+	lower := p2.FQT.Clone()
+	p2.Frequent.ForEach(func(p pattern.Pattern) bool {
+		if p.K() == 1 {
+			lower.Add(p)
+		}
+		return true
+	})
+	return lower
+}
+
+// levelwiseFinalize adapts the baseline finalizer's signature for the
+// orchestrators.
+func levelwiseFinalize(cfg border.Config, sampleFrequent, ambiguous *pattern.Set) (*border.Result, error) {
+	return levelwise.Finalize(cfg, sampleFrequent, ambiguous)
+}
+
+// Phase1 performs Algorithm 4.1: one scan computing every symbol's match and
+// drawing a sequential random sample of up to n sequences.
+func Phase1(db seqdb.Scanner, c compat.Source, n int, rng *rand.Rand) ([]float64, [][]pattern.Symbol, error) {
+	acc := match.NewSymbolAccumulator(c)
+	sampler, err := sampling.NewSequential(n, db.Len(), rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	err = db.Scan(func(id int, seq []pattern.Symbol) error {
+		acc.Observe(seq)
+		sampler.Offer(seq)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return acc.Matches(db.Len()), sampler.Samples(), nil
+}
+
+// Exhaustive mines the exact frequent set of db under the match measure with
+// one scan per lattice level — the deterministic reference the experiments
+// compare against (and the generalization of prior support-model algorithms
+// the paper discusses in §4's opening).
+func Exhaustive(db seqdb.Scanner, c compat.Source, minMatch float64, opts miner.Options) (*miner.Result, error) {
+	return miner.Exhaustive(c.Size(), miner.MatchDBValuer(db, c), minMatch, opts)
+}
+
+// ExhaustiveSupport mines the exact frequent set under the classic support
+// measure (the §5.1 comparison model).
+func ExhaustiveSupport(db seqdb.Scanner, minSupport float64, m int, opts miner.Options) (*miner.Result, error) {
+	return miner.Exhaustive(m, miner.DBValuer(db, support.Support{}), minSupport, opts)
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/pattern"
+)
+
+// Report is a serializable summary of a mining run, for downstream tooling.
+// Patterns are rendered with the supplied alphabet; border membership and
+// the measured match of every frequent pattern are included when available.
+type Report struct {
+	MinMatch   float64         `json:"min_match"`
+	Sequences  int             `json:"sequences"`
+	SampleSize int             `json:"sample_size"`
+	Scans      int             `json:"scans"`
+	Frequent   []PatternReport `json:"frequent"`
+	Phase      PhaseReport     `json:"phases"`
+}
+
+// PatternReport is one frequent pattern.
+type PatternReport struct {
+	Pattern string  `json:"pattern"`
+	Key     string  `json:"key"`
+	K       int     `json:"k"`
+	Length  int     `json:"length"`
+	Border  bool    `json:"border"`
+	Match   float64 `json:"match,omitempty"`
+	// Source records how the pattern was confirmed: "sample" (accepted at
+	// confidence 1-δ from Phase 2) or "probe" (measured exactly in Phase 3).
+	Source string `json:"source"`
+}
+
+// PhaseReport carries per-phase statistics.
+type PhaseReport struct {
+	Phase1Millis       float64 `json:"phase1_ms"`
+	Phase2Millis       float64 `json:"phase2_ms"`
+	Phase3Millis       float64 `json:"phase3_ms"`
+	SampleFrequent     int     `json:"sample_frequent"`
+	SampleAmbiguous    int     `json:"sample_ambiguous"`
+	ProbedPatterns     int     `json:"probed_patterns"`
+	CandidatesPerLevel []int   `json:"candidates_per_level"`
+	Truncated          bool    `json:"truncated"`
+}
+
+// NewReport assembles a Report from a mining result. alphabet may be nil,
+// in which case patterns render with generic d<i> names. sequences is the
+// database size (Result does not retain the Scanner).
+func NewReport(res *Result, minMatch float64, sequences int, alphabet *pattern.Alphabet) (*Report, error) {
+	if res == nil {
+		return nil, fmt.Errorf("core: nil result")
+	}
+	rep := &Report{
+		MinMatch:   minMatch,
+		Sequences:  sequences,
+		SampleSize: res.SampleSize,
+		Scans:      res.Scans,
+	}
+	if res.Phase2 != nil {
+		rep.Phase = PhaseReport{
+			Phase1Millis:       float64(res.Phase1Time.Microseconds()) / 1000,
+			Phase2Millis:       float64(res.Phase2Time.Microseconds()) / 1000,
+			Phase3Millis:       float64(res.Phase3Time.Microseconds()) / 1000,
+			SampleFrequent:     res.Phase2.Frequent.Len(),
+			SampleAmbiguous:    res.Phase2.Ambiguous.Len(),
+			CandidatesPerLevel: res.Phase2.CandidatesPerLevel,
+			Truncated:          res.Phase2.Truncated,
+		}
+	}
+	if res.Phase3 != nil {
+		rep.Phase.ProbedPatterns = res.Phase3.Probed
+	}
+	render := func(p pattern.Pattern) string {
+		if alphabet != nil {
+			return alphabet.Format(p)
+		}
+		return p.String()
+	}
+	for _, p := range res.Frequent.Patterns() {
+		key := p.Key()
+		pr := PatternReport{
+			Pattern: render(p),
+			Key:     key,
+			K:       p.K(),
+			Length:  p.Len(),
+			Border:  res.Border.Contains(p),
+			Source:  "sample",
+		}
+		if res.Phase3 != nil {
+			if v, ok := res.Phase3.Exact[key]; ok {
+				pr.Match = v
+				pr.Source = "probe"
+			}
+		}
+		if pr.Source == "sample" && res.Phase2 != nil {
+			if v, ok := res.Phase2.Values[key]; ok {
+				pr.Match = v
+			}
+		}
+		rep.Frequent = append(rep.Frequent, pr)
+	}
+	// Borders first, then by descending match, for readable output.
+	sort.SliceStable(rep.Frequent, func(a, b int) bool {
+		if rep.Frequent[a].Border != rep.Frequent[b].Border {
+			return rep.Frequent[a].Border
+		}
+		if rep.Frequent[a].Match != rep.Frequent[b].Match {
+			return rep.Frequent[a].Match > rep.Frequent[b].Match
+		}
+		return rep.Frequent[a].Key < rep.Frequent[b].Key
+	})
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

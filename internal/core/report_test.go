@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/compat"
+	"repro/internal/pattern"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	db := fig4DB()
+	res, err := Mine(db, compat.Fig2(), Config{
+		MinMatch: 0.3, SampleSize: 4, MaxLen: 3, MaxGap: 1,
+		Rng: rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReport(res, 0.3, db.Len(), pattern.GenericAlphabet(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sequences != 4 || rep.MinMatch != 0.3 || rep.Scans != res.Scans {
+		t.Errorf("header: %+v", rep)
+	}
+	if len(rep.Frequent) != res.Frequent.Len() {
+		t.Fatalf("reported %d patterns, result has %d", len(rep.Frequent), res.Frequent.Len())
+	}
+	borders := 0
+	for _, pr := range rep.Frequent {
+		if pr.Pattern == "" || pr.Key == "" || pr.K < 1 {
+			t.Errorf("malformed entry: %+v", pr)
+		}
+		if pr.Border {
+			borders++
+		}
+		if pr.Source != "sample" && pr.Source != "probe" {
+			t.Errorf("bad source %q", pr.Source)
+		}
+	}
+	if borders != res.Border.Len() {
+		t.Errorf("%d border entries, want %d", borders, res.Border.Len())
+	}
+	// Border entries sort first.
+	seenNonBorder := false
+	for _, pr := range rep.Frequent {
+		if !pr.Border {
+			seenNonBorder = true
+		} else if seenNonBorder {
+			t.Fatal("border entry after non-border entry")
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(back.Frequent) != len(rep.Frequent) {
+		t.Error("JSON round trip lost patterns")
+	}
+}
+
+func TestReportNilAlphabet(t *testing.T) {
+	db := fig4DB()
+	res, err := Mine(db, compat.Fig2(), Config{
+		MinMatch: 0.3, SampleSize: 4, MaxLen: 2, Rng: rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReport(res, 0.3, db.Len(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range rep.Frequent {
+		if pr.Pattern == "" {
+			t.Error("empty rendering without alphabet")
+		}
+	}
+	if _, err := NewReport(nil, 0.3, 4, nil); err == nil {
+		t.Error("nil result accepted")
+	}
+}

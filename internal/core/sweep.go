@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/border"
+	"repro/internal/chernoff"
+	"repro/internal/compat"
+	"repro/internal/match"
+	"repro/internal/miner"
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+)
+
+// MineSweep is the window-sweep variant of the three-phase algorithm,
+// designed for sparse compatibility matrices and very large alphabets (the
+// paper's §6 E-commerce direction): Phase 2 enumerates the sample's
+// compatible windows level by level (match.LevelSweep) instead of
+// generating candidates, so its cost is occurrence-bound and independent of
+// m², and no m×m structure is ever materialized when c is a SparseMatrix.
+//
+// Soundness of the sweep's negative classifications requires the Chernoff
+// band to sit strictly inside (0, min_match): patterns absent from the
+// sample have sample match 0 and are classified infrequent, which holds at
+// confidence 1-δ only if ε < min_match. MineSweep verifies this and returns
+// an error otherwise (use a larger sample, a higher threshold, or the
+// candidate-driven Mine, which has no such restriction).
+//
+// MaxCandidatesPerLevel is ignored: the sweep never generates candidates.
+// Results are identical to Mine up to the sweep's documented floor
+// undercount (min_match/64, folded into the ambiguous band).
+func MineSweep(db seqdb.Scanner, c compat.Source, cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if db.Len() == 0 {
+		return nil, fmt.Errorf("core: empty database")
+	}
+
+	// Phase 1: symbol matches + sample, one scan.
+	start := time.Now()
+	symbolMatch, sample, err := Phase1(db, c, cfg.SampleSize, cfg.Rng)
+	if err != nil {
+		return nil, err
+	}
+	n := len(sample)
+	res := &Result{
+		SymbolMatch: symbolMatch,
+		SampleSize:  n,
+		Scans:       1,
+		Phase1Time:  time.Since(start),
+	}
+
+	// Phase 2: window sweep over the sample with Chernoff classification.
+	start = time.Now()
+	cls, err := chernoff.NewClassifier(cfg.MinMatch, cfg.Delta, n)
+	if err != nil {
+		return nil, err
+	}
+	p2 := &miner.Result{
+		Frequent:  pattern.NewSet(),
+		Ambiguous: pattern.NewSet(),
+		Values:    make(map[string]float64),
+		Spreads:   make(map[string]float64),
+		Labels:    make(map[string]chernoff.Label),
+	}
+	floor := cfg.MinMatch / 64
+	maxSym := 0.0
+	aliveSymbols := 0
+	for d, v := range symbolMatch {
+		if v > maxSym {
+			maxSym = v
+		}
+		p := pattern.Pattern{pattern.Symbol(d)}
+		key := p.Key()
+		p2.Values[key] = v
+		p2.Spreads[key] = v
+		if v >= cfg.MinMatch {
+			p2.Labels[key] = chernoff.Frequent
+			p2.Frequent.Add(p)
+			aliveSymbols++
+		} else {
+			p2.Labels[key] = chernoff.Infrequent
+		}
+	}
+	p2.CandidatesPerLevel = append(p2.CandidatesPerLevel, c.Size())
+	p2.AlivePerLevel = append(p2.AlivePerLevel, aliveSymbols)
+	if eps := cls.Epsilon(maxSym); eps >= cfg.MinMatch {
+		return nil, fmt.Errorf("core: sample too small for sweep mining (ε=%v >= min_match=%v); grow the sample or use Mine", eps, cfg.MinMatch)
+	}
+
+	sampleDB := seqdb.NewMemDB(sample)
+	alive := aliveSymbols
+	for k := 2; k <= cfg.MaxLen && alive > 0; k++ {
+		sums, err := match.LevelSweep(sampleDB, c, k, cfg.MaxLen, cfg.MaxGap, floor)
+		if err != nil {
+			return nil, err
+		}
+		alive = 0
+		p2.CandidatesPerLevel = append(p2.CandidatesPerLevel, len(sums))
+		for key, sum := range sums {
+			v := sum / float64(n)
+			p, err := pattern.ParseKey(key)
+			if err != nil {
+				return nil, err
+			}
+			spread := chernoff.RestrictedSpread(p, symbolMatch)
+			p2.Values[key] = v
+			p2.Spreads[key] = spread
+			// The floor undercount can only push a value down; widen the
+			// ambiguous band accordingly on the low side.
+			switch {
+			case v > cfg.MinMatch+cls.Epsilon(spread):
+				p2.Labels[key] = chernoff.Frequent
+				p2.Frequent.Add(p)
+				alive++
+			case v < cfg.MinMatch-cls.Epsilon(spread)-floor:
+				p2.Labels[key] = chernoff.Infrequent
+			default:
+				p2.Labels[key] = chernoff.Ambiguous
+				p2.Ambiguous.Add(p)
+				alive++
+			}
+		}
+		p2.AlivePerLevel = append(p2.AlivePerLevel, alive)
+	}
+	p2.FQT = pattern.Border(p2.Frequent)
+	combined := p2.Frequent.Clone()
+	combined.Union(p2.Ambiguous)
+	p2.Ceiling = pattern.Border(combined)
+	res.Phase2 = p2
+	res.Phase2Time = time.Since(start)
+
+	// Phase 3: identical finalization to Mine.
+	start = time.Now()
+	if cfg.Finalizer == None || p2.Ambiguous.Len() == 0 {
+		res.Frequent = p2.Frequent.Clone()
+		res.Border = pattern.Border(res.Frequent)
+		res.Phase3Time = time.Since(start)
+		return res, nil
+	}
+	probeCfg := border.Config{
+		MinMatch:  cfg.MinMatch,
+		MemBudget: cfg.MemBudget,
+		Probe:     cfg.probeValuer(db, c),
+	}
+	switch cfg.Finalizer {
+	case BorderCollapsing:
+		res.Phase3, err = border.Collapse(probeCfg, p2.Frequent, p2.Ambiguous)
+	case LevelWise:
+		res.Phase3, err = levelwiseFinalize(probeCfg, p2.Frequent, p2.Ambiguous)
+	case BorderCollapsingImplicit:
+		res.Phase3, err = border.CollapseImplicit(probeCfg, implicitLower(p2), p2.Ceiling)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Frequent = res.Phase3.Frequent
+	res.Border = res.Phase3.Border
+	res.Scans += res.Phase3.Scans
+	res.Phase3Time = time.Since(start)
+	return res, nil
+}

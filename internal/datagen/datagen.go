@@ -1,0 +1,327 @@
+// Package datagen builds the synthetic workloads of the paper's evaluation:
+// protein-like standard databases with planted motifs (standing in for the
+// NCBI protein corpus, see DESIGN.md's substitution table), the §5.1
+// noise-injected test databases, and the Figure 15 synthetic databases with
+// large alphabets and sparse compatibility.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/compat"
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+)
+
+// ProteinConfig parameterizes the standard-database generator.
+type ProteinConfig struct {
+	// N is the number of sequences.
+	N int
+	// M is the alphabet size (20 for amino acids).
+	M int
+	// MinLen and MaxLen bound the (uniform) sequence length.
+	MinLen, MaxLen int
+	// Motifs are planted patterns; eternal positions are filled with random
+	// symbols at plant time. Nil selects NumMotifs auto-generated motifs.
+	Motifs []pattern.Pattern
+	// NumMotifs and MotifLen control auto-generation when Motifs is nil.
+	NumMotifs, MotifLen int
+	// PlantProb is the probability that a given sequence carries a given
+	// motif (each motif decided independently).
+	PlantProb float64
+}
+
+func (c ProteinConfig) validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("datagen: N %d < 1", c.N)
+	}
+	if c.M < 2 {
+		return fmt.Errorf("datagen: M %d < 2", c.M)
+	}
+	if c.MinLen < 1 || c.MaxLen < c.MinLen {
+		return fmt.Errorf("datagen: bad length range [%d,%d]", c.MinLen, c.MaxLen)
+	}
+	if c.PlantProb < 0 || c.PlantProb > 1 {
+		return fmt.Errorf("datagen: PlantProb %v outside [0,1]", c.PlantProb)
+	}
+	if c.Motifs == nil && c.NumMotifs > 0 {
+		if c.MotifLen < 1 || c.MotifLen > c.MinLen {
+			return fmt.Errorf("datagen: MotifLen %d outside [1,MinLen=%d]", c.MotifLen, c.MinLen)
+		}
+	}
+	for i, m := range c.Motifs {
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("datagen: motif %d: %w", i, err)
+		}
+		if m.Len() > c.MinLen {
+			return fmt.Errorf("datagen: motif %d longer than MinLen", i)
+		}
+	}
+	return nil
+}
+
+// Protein generates a standard database: background symbols drawn from a
+// mildly skewed (Zipf-like) distribution over the alphabet, with the motifs
+// planted at random positions. It returns the database and the motifs used.
+func Protein(cfg ProteinConfig, rng *rand.Rand) (*seqdb.MemDB, []pattern.Pattern, error) {
+	if rng == nil {
+		return nil, nil, fmt.Errorf("datagen: nil rng")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	motifs := cfg.Motifs
+	if motifs == nil {
+		motifs = RandomMotifs(cfg.NumMotifs, cfg.MotifLen, cfg.M, rng)
+	}
+	// Zipf-ish background: symbol d has weight 1/(d+2), echoing the skewed
+	// residue frequencies of real protein data.
+	weights := make([]float64, cfg.M)
+	total := 0.0
+	for d := range weights {
+		weights[d] = 1 / float64(d+2)
+		total += weights[d]
+	}
+	cum := make([]float64, cfg.M)
+	acc := 0.0
+	for d := range weights {
+		acc += weights[d] / total
+		cum[d] = acc
+	}
+	draw := func() pattern.Symbol {
+		u := rng.Float64()
+		for d, c := range cum {
+			if u <= c {
+				return pattern.Symbol(d)
+			}
+		}
+		return pattern.Symbol(cfg.M - 1)
+	}
+
+	db := seqdb.NewMemDB(nil)
+	for i := 0; i < cfg.N; i++ {
+		l := cfg.MinLen
+		if cfg.MaxLen > cfg.MinLen {
+			l += rng.Intn(cfg.MaxLen - cfg.MinLen + 1)
+		}
+		seq := make([]pattern.Symbol, l)
+		for j := range seq {
+			seq[j] = draw()
+		}
+		for _, motif := range motifs {
+			if rng.Float64() >= cfg.PlantProb {
+				continue
+			}
+			pos := 0
+			if l > motif.Len() {
+				pos = rng.Intn(l - motif.Len() + 1)
+			}
+			for j, s := range motif {
+				if s.IsEternal() {
+					continue // leave the background symbol (a random fill)
+				}
+				seq[pos+j] = s
+			}
+		}
+		db.Append(seq)
+	}
+	return db, motifs, nil
+}
+
+// RandomMotifs generates k random contiguous motifs of the given length with
+// distinct symbols per motif (so each motif is a clear signal).
+func RandomMotifs(k, length, m int, rng *rand.Rand) []pattern.Pattern {
+	motifs := make([]pattern.Pattern, 0, k)
+	for i := 0; i < k; i++ {
+		perm := rng.Perm(m)
+		p := make(pattern.Pattern, 0, length)
+		for j := 0; j < length && j < m; j++ {
+			p = append(p, pattern.Symbol(perm[j]))
+		}
+		for p.Len() < length { // alphabet smaller than motif: allow repeats
+			p = append(p, pattern.Symbol(rng.Intn(m)))
+		}
+		motifs = append(motifs, p)
+	}
+	return motifs
+}
+
+// ApplyUniformNoise derives a §5.1 test database: every symbol stays itself
+// with probability 1-alpha and flips to each other symbol with probability
+// alpha/(m-1). The standard database is not modified.
+func ApplyUniformNoise(db *seqdb.MemDB, m int, alpha float64, rng *rand.Rand) (*seqdb.MemDB, error) {
+	if alpha < 0 || alpha >= 1 {
+		return nil, fmt.Errorf("datagen: alpha %v outside [0,1)", alpha)
+	}
+	if m < 2 && alpha > 0 {
+		return nil, fmt.Errorf("datagen: need m >= 2 for noise")
+	}
+	return mutate(db, rng, func(d pattern.Symbol) pattern.Symbol {
+		if rng.Float64() >= alpha {
+			return d
+		}
+		other := pattern.Symbol(rng.Intn(m - 1))
+		if other >= d {
+			other++
+		}
+		return other
+	})
+}
+
+// ApplyChannelNoise derives a test database by passing every symbol through
+// the substitution channel sub[i][j] = Prob(observed=j | true=i).
+func ApplyChannelNoise(db *seqdb.MemDB, sub [][]float64, rng *rand.Rand) (*seqdb.MemDB, error) {
+	if len(sub) == 0 {
+		return nil, fmt.Errorf("datagen: empty channel")
+	}
+	m := len(sub)
+	cum := make([][]float64, m)
+	for i, row := range sub {
+		if len(row) != m {
+			return nil, fmt.Errorf("datagen: ragged channel row %d", i)
+		}
+		cum[i] = make([]float64, m)
+		acc := 0.0
+		for j, p := range row {
+			acc += p
+			cum[i][j] = acc
+		}
+		if acc < 1-1e-6 || acc > 1+1e-6 {
+			return nil, fmt.Errorf("datagen: channel row %d sums to %v", i, acc)
+		}
+	}
+	return mutate(db, rng, func(d pattern.Symbol) pattern.Symbol {
+		u := rng.Float64()
+		row := cum[d]
+		for j, c := range row {
+			if u <= c {
+				return pattern.Symbol(j)
+			}
+		}
+		return pattern.Symbol(m - 1)
+	})
+}
+
+func mutate(db *seqdb.MemDB, rng *rand.Rand, f func(pattern.Symbol) pattern.Symbol) (*seqdb.MemDB, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("datagen: nil rng")
+	}
+	out := seqdb.NewMemDB(nil)
+	for i := 0; i < db.Len(); i++ {
+		src := db.Seq(i)
+		dst := make([]pattern.Symbol, len(src))
+		for j, d := range src {
+			dst[j] = f(d)
+		}
+		out.Append(dst)
+	}
+	return out, nil
+}
+
+// Mutator maps a true symbol to an observed symbol using the supplied rng —
+// the streaming form of a substitution channel, usable without materializing
+// an m×m matrix for very large alphabets.
+type Mutator func(d pattern.Symbol, rng *rand.Rand) pattern.Symbol
+
+// SparseNoise builds the Figure 15 construction for a large alphabet: every
+// observed symbol is compatible with itself (weight 1-alpha) and with about
+// density·(m-1) other symbols sharing the remaining alpha ("a symbol is
+// compatible to around 10% of other symbols", §5.7). The matrix is built
+// directly in sparse form — O(density·m²) cells, never a dense m×m array —
+// together with the companion Mutator that generates matching noisy data
+// (symbol i stays itself with probability 1-alpha, otherwise flips to one of
+// the symbols whose observed column lists it).
+func SparseNoise(m int, alpha, density float64, rng *rand.Rand) (*compat.SparseMatrix, Mutator, error) {
+	if rng == nil {
+		return nil, nil, fmt.Errorf("datagen: nil rng")
+	}
+	if m < 2 {
+		return nil, nil, fmt.Errorf("datagen: m %d < 2", m)
+	}
+	if alpha < 0 || alpha >= 1 {
+		return nil, nil, fmt.Errorf("datagen: alpha %v outside [0,1)", alpha)
+	}
+	if density <= 0 || density > 1 {
+		return nil, nil, fmt.Errorf("datagen: density %v outside (0,1]", density)
+	}
+	k := int(density * float64(m-1))
+	if k < 1 {
+		k = 1
+	}
+	cells := make([]compat.Cell, 0, m*(k+1))
+	// flipsTo[i] lists the observed symbols j whose column credits true
+	// symbol i, i.e. the symbols i may be misread as.
+	flipsTo := make([][]pattern.Symbol, m)
+	for j := 0; j < m; j++ {
+		obs := pattern.Symbol(j)
+		cells = append(cells, compat.Cell{True: obs, Observed: obs, P: 1 - alpha})
+		share := alpha / float64(k)
+		chosen := make(map[int]bool, k)
+		for len(chosen) < k {
+			i := rng.Intn(m - 1)
+			if i >= j {
+				i++
+			}
+			if chosen[i] {
+				continue
+			}
+			chosen[i] = true
+			cells = append(cells, compat.Cell{True: pattern.Symbol(i), Observed: obs, P: share})
+			flipsTo[i] = append(flipsTo[i], obs)
+		}
+	}
+	c, err := compat.NewSparse(m, cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	mut := func(d pattern.Symbol, r *rand.Rand) pattern.Symbol {
+		targets := flipsTo[d]
+		if len(targets) == 0 || r.Float64() >= alpha {
+			return d
+		}
+		return targets[r.Intn(len(targets))]
+	}
+	return c, mut, nil
+}
+
+// ApplyMutator derives a test database by passing every symbol through mut.
+func ApplyMutator(db *seqdb.MemDB, mut Mutator, rng *rand.Rand) (*seqdb.MemDB, error) {
+	if mut == nil {
+		return nil, fmt.Errorf("datagen: nil mutator")
+	}
+	return mutate(db, rng, func(d pattern.Symbol) pattern.Symbol { return mut(d, rng) })
+}
+
+// Uniform generates n sequences of exactly length l with symbols uniform
+// over m, planting the given motifs with probability plantProb each — the
+// Figure 15 synthetic data shape (100K sequences of 1000 symbols in the
+// paper, scaled down for the benches).
+func Uniform(n, l, m int, motifs []pattern.Pattern, plantProb float64, rng *rand.Rand) (*seqdb.MemDB, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("datagen: nil rng")
+	}
+	if n < 1 || l < 1 || m < 1 {
+		return nil, fmt.Errorf("datagen: bad shape n=%d l=%d m=%d", n, l, m)
+	}
+	db := seqdb.NewMemDB(nil)
+	for i := 0; i < n; i++ {
+		seq := make([]pattern.Symbol, l)
+		for j := range seq {
+			seq[j] = pattern.Symbol(rng.Intn(m))
+		}
+		for _, motif := range motifs {
+			if motif.Len() > l || rng.Float64() >= plantProb {
+				continue
+			}
+			pos := rng.Intn(l - motif.Len() + 1)
+			for j, s := range motif {
+				if !s.IsEternal() {
+					seq[pos+j] = s
+				}
+			}
+		}
+		db.Append(seq)
+	}
+	return db, nil
+}

@@ -1,0 +1,314 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+	"repro/internal/support"
+)
+
+func TestProteinShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := ProteinConfig{N: 50, M: 20, MinLen: 30, MaxLen: 60, NumMotifs: 2, MotifLen: 5, PlantProb: 0.5}
+	db, motifs, err := Protein(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 50 {
+		t.Fatalf("N=%d", db.Len())
+	}
+	if len(motifs) != 2 {
+		t.Fatalf("motifs=%d", len(motifs))
+	}
+	if err := db.Validate(20); err != nil {
+		t.Fatal(err)
+	}
+	st, err := seqdb.Describe(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MinLen < 30 || st.MaxLen > 60 {
+		t.Errorf("length range [%d,%d] outside [30,60]", st.MinLen, st.MaxLen)
+	}
+}
+
+func TestProteinPlantsMotifs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	motif := pattern.MustNew(0, 1, 2, 3, 4)
+	cfg := ProteinConfig{N: 200, M: 20, MinLen: 40, MaxLen: 40, Motifs: []pattern.Pattern{motif}, PlantProb: 0.6}
+	db, _, err := Protein(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := support.DB(db, []pattern.Pattern{motif})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant probability 0.6 plus occasional random occurrences.
+	if sup[0] < 0.5 {
+		t.Errorf("motif support %v, want >= 0.5", sup[0])
+	}
+}
+
+func TestProteinGappedMotif(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	motif := pattern.MustNew(0, pattern.Eternal, 2)
+	cfg := ProteinConfig{N: 100, M: 10, MinLen: 20, MaxLen: 20, Motifs: []pattern.Pattern{motif}, PlantProb: 1}
+	db, _, err := Protein(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := support.DB(db, []pattern.Pattern{motif})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup[0] != 1 {
+		t.Errorf("gapped motif support %v, want 1", sup[0])
+	}
+}
+
+func TestProteinValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []ProteinConfig{
+		{N: 0, M: 20, MinLen: 5, MaxLen: 10},
+		{N: 5, M: 1, MinLen: 5, MaxLen: 10},
+		{N: 5, M: 20, MinLen: 0, MaxLen: 10},
+		{N: 5, M: 20, MinLen: 10, MaxLen: 5},
+		{N: 5, M: 20, MinLen: 5, MaxLen: 10, PlantProb: 1.5},
+		{N: 5, M: 20, MinLen: 5, MaxLen: 10, NumMotifs: 1, MotifLen: 6},
+		{N: 5, M: 20, MinLen: 5, MaxLen: 10, Motifs: []pattern.Pattern{{pattern.Eternal}}},
+		{N: 5, M: 20, MinLen: 5, MaxLen: 10, Motifs: []pattern.Pattern{pattern.MustNew(0, 1, 2, 3, 4, 5)}},
+	}
+	for i, cfg := range bad {
+		if _, _, err := Protein(cfg, rng); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, _, err := Protein(ProteinConfig{N: 1, M: 2, MinLen: 1, MaxLen: 1}, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestApplyUniformNoiseRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n, l, m = 100, 100, 20
+	base := seqdb.NewMemDB(nil)
+	for i := 0; i < n; i++ {
+		s := make([]pattern.Symbol, l)
+		for j := range s {
+			s[j] = pattern.Symbol(rng.Intn(m))
+		}
+		base.Append(s)
+	}
+	const alpha = 0.3
+	noisy, err := ApplyUniformNoise(base, m, alpha, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Len() != base.Len() {
+		t.Fatal("sequence count changed")
+	}
+	changed := 0
+	for i := 0; i < n; i++ {
+		a, b := base.Seq(i), noisy.Seq(i)
+		if len(a) != len(b) {
+			t.Fatal("sequence length changed")
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				changed++
+			}
+		}
+	}
+	rate := float64(changed) / float64(n*l)
+	if math.Abs(rate-alpha) > 0.03 {
+		t.Errorf("observed substitution rate %v, want ≈%v", rate, alpha)
+	}
+	// Original untouched.
+	if base.Seq(0)[0] != base.Seq(0)[0] {
+		t.Error("base mutated")
+	}
+}
+
+func TestApplyUniformNoiseZeroAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := seqdb.NewMemDB([][]pattern.Symbol{{1, 2, 3}})
+	noisy, err := ApplyUniformNoise(base, 5, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, d := range noisy.Seq(0) {
+		if d != base.Seq(0)[j] {
+			t.Fatal("alpha=0 changed data")
+		}
+	}
+}
+
+func TestApplyUniformNoiseValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := seqdb.NewMemDB([][]pattern.Symbol{{1}})
+	if _, err := ApplyUniformNoise(base, 5, -0.1, rng); err == nil {
+		t.Error("negative alpha accepted")
+	}
+	if _, err := ApplyUniformNoise(base, 5, 1, rng); err == nil {
+		t.Error("alpha=1 accepted")
+	}
+	if _, err := ApplyUniformNoise(base, 1, 0.5, rng); err == nil {
+		t.Error("m=1 accepted")
+	}
+	if _, err := ApplyUniformNoise(base, 5, 0.1, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestApplyChannelNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Deterministic channel: 0→1, 1→0, 2→2.
+	sub := [][]float64{
+		{0, 1, 0},
+		{1, 0, 0},
+		{0, 0, 1},
+	}
+	base := seqdb.NewMemDB([][]pattern.Symbol{{0, 1, 2, 0}})
+	noisy, err := ApplyChannelNoise(base, sub, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []pattern.Symbol{1, 0, 2, 1}
+	for j, d := range noisy.Seq(0) {
+		if d != want[j] {
+			t.Fatalf("got %v, want %v", noisy.Seq(0), want)
+		}
+	}
+}
+
+func TestApplyChannelNoiseValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	base := seqdb.NewMemDB([][]pattern.Symbol{{0}})
+	if _, err := ApplyChannelNoise(base, nil, rng); err == nil {
+		t.Error("empty channel accepted")
+	}
+	if _, err := ApplyChannelNoise(base, [][]float64{{0.5}}, rng); err == nil {
+		t.Error("non-stochastic row accepted")
+	}
+	if _, err := ApplyChannelNoise(base, [][]float64{{1, 0}, {1}}, rng); err == nil {
+		t.Error("ragged channel accepted")
+	}
+}
+
+func TestRandomMotifs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	motifs := RandomMotifs(3, 5, 20, rng)
+	if len(motifs) != 3 {
+		t.Fatalf("got %d motifs", len(motifs))
+	}
+	for _, m := range motifs {
+		if m.Len() != 5 || m.K() != 5 {
+			t.Errorf("motif %v wrong shape", m)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("invalid motif: %v", err)
+		}
+	}
+	// Alphabet smaller than motif length: repeats allowed.
+	small := RandomMotifs(1, 5, 3, rng)
+	if small[0].Len() != 5 {
+		t.Errorf("small-alphabet motif %v", small[0])
+	}
+}
+
+func TestSparseNoiseStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const m = 50
+	c, mut, err := SparseNoise(m, 0.2, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != m {
+		t.Fatalf("Size=%d", c.Size())
+	}
+	// Each observed column: diagonal + k ≈ 0.1·49 = 4 entries.
+	for j := pattern.Symbol(0); j < m; j++ {
+		col := c.TrueGiven(j)
+		if len(col) != 5 {
+			t.Errorf("column %d has %d entries, want 5", j, len(col))
+		}
+		if c.C(j, j) != 0.8 {
+			t.Errorf("diagonal C(%d,%d)=%v", j, j, c.C(j, j))
+		}
+	}
+	// Mutator only produces symbols compatible with the original.
+	for trial := 0; trial < 2000; trial++ {
+		d := pattern.Symbol(rng.Intn(m))
+		o := mut(d, rng)
+		if c.C(d, o) == 0 {
+			t.Fatalf("mutator produced incompatible flip %v→%v", d, o)
+		}
+	}
+}
+
+func TestSparseNoiseValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	if _, _, err := SparseNoise(1, 0.1, 0.1, rng); err == nil {
+		t.Error("m=1 accepted")
+	}
+	if _, _, err := SparseNoise(10, 1, 0.1, rng); err == nil {
+		t.Error("alpha=1 accepted")
+	}
+	if _, _, err := SparseNoise(10, 0.1, 0, rng); err == nil {
+		t.Error("density=0 accepted")
+	}
+	if _, _, err := SparseNoise(10, 0.1, 0.1, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestApplyMutator(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	base := seqdb.NewMemDB([][]pattern.Symbol{{0, 1, 2}})
+	bump := func(d pattern.Symbol, _ *rand.Rand) pattern.Symbol { return d + 1 }
+	noisy, err := ApplyMutator(base, bump, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []pattern.Symbol{1, 2, 3}
+	for j, d := range noisy.Seq(0) {
+		if d != want[j] {
+			t.Fatalf("got %v", noisy.Seq(0))
+		}
+	}
+	if _, err := ApplyMutator(base, nil, rng); err == nil {
+		t.Error("nil mutator accepted")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	motif := pattern.MustNew(0, 1, 2)
+	db, err := Uniform(100, 50, 10, []pattern.Pattern{motif}, 0.7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 100 {
+		t.Fatalf("N=%d", db.Len())
+	}
+	if err := db.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+	sup, err := support.DB(db, []pattern.Pattern{motif})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup[0] < 0.6 {
+		t.Errorf("motif support %v, want >= 0.6", sup[0])
+	}
+	if _, err := Uniform(0, 5, 5, nil, 0, rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Uniform(5, 5, 5, nil, 0, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}

@@ -1,0 +1,79 @@
+// Package eval implements the result-quality metrics of the paper's
+// evaluation: accuracy and completeness of a mined pattern set against a
+// reference set (§5.1), the error rate of the probabilistic algorithm
+// (§5.5), and the distance distribution of mislabeled patterns (Figure 13).
+package eval
+
+import (
+	"repro/internal/pattern"
+)
+
+// Accuracy is |got ∩ want| / |got| — how selective the result is (§5.1). An
+// empty result is vacuously accurate (1).
+func Accuracy(got, want *pattern.Set) float64 {
+	if got.Len() == 0 {
+		return 1
+	}
+	return float64(got.Intersect(want).Len()) / float64(got.Len())
+}
+
+// Completeness is |got ∩ want| / |want| — how much of the expected result is
+// covered (§5.1). An empty reference is vacuously complete (1).
+func Completeness(got, want *pattern.Set) float64 {
+	if want.Len() == 0 {
+		return 1
+	}
+	return float64(got.Intersect(want).Len()) / float64(want.Len())
+}
+
+// Quality bundles both metrics.
+type Quality struct {
+	Accuracy     float64
+	Completeness float64
+}
+
+// Compare computes both metrics at once.
+func Compare(got, want *pattern.Set) Quality {
+	return Quality{Accuracy: Accuracy(got, want), Completeness: Completeness(got, want)}
+}
+
+// Missed returns the patterns of want absent from got (the false negatives —
+// the paper's "missing patterns" of Figure 13).
+func Missed(got, want *pattern.Set) *pattern.Set {
+	return want.Diff(got)
+}
+
+// Spurious returns the patterns of got absent from want (false positives).
+func Spurious(got, want *pattern.Set) *pattern.Set {
+	return got.Diff(want)
+}
+
+// ErrorRate is the §5.5 metric: mislabeled patterns (false negatives plus
+// false positives) over the number of truly frequent patterns. Zero when the
+// reference is empty and the result agrees.
+func ErrorRate(got, want *pattern.Set) float64 {
+	mislabeled := Missed(got, want).Len() + Spurious(got, want).Len()
+	if want.Len() == 0 {
+		if mislabeled == 0 {
+			return 0
+		}
+		return float64(mislabeled)
+	}
+	return float64(mislabeled) / float64(want.Len())
+}
+
+// MissDistances returns, for every missed pattern, the relative distance of
+// its real match above the threshold: (match - minMatch) / minMatch. The
+// Figure 13 histogram buckets these distances. matches must be able to value
+// every missed pattern (e.g. the exhaustive run's Values map).
+func MissDistances(missed *pattern.Set, matches map[string]float64, minMatch float64) []float64 {
+	out := make([]float64, 0, missed.Len())
+	for _, p := range missed.Patterns() {
+		v, ok := matches[p.Key()]
+		if !ok {
+			continue
+		}
+		out = append(out, (v-minMatch)/minMatch)
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+func pat(syms ...pattern.Symbol) pattern.Pattern { return pattern.MustNew(syms...) }
+
+func TestAccuracyCompleteness(t *testing.T) {
+	want := pattern.NewSet(pat(0), pat(1), pat(2), pat(3))
+	got := pattern.NewSet(pat(0), pat(1), pat(9))
+	if a := Accuracy(got, want); math.Abs(a-2.0/3.0) > 1e-12 {
+		t.Errorf("Accuracy=%v", a)
+	}
+	if c := Completeness(got, want); c != 0.5 {
+		t.Errorf("Completeness=%v", c)
+	}
+	q := Compare(got, want)
+	if q.Accuracy != Accuracy(got, want) || q.Completeness != Completeness(got, want) {
+		t.Error("Compare disagrees with individual metrics")
+	}
+}
+
+func TestVacuousCases(t *testing.T) {
+	empty := pattern.NewSet()
+	some := pattern.NewSet(pat(0))
+	if Accuracy(empty, some) != 1 {
+		t.Error("empty result should be vacuously accurate")
+	}
+	if Completeness(some, empty) != 1 {
+		t.Error("empty reference should be vacuously complete")
+	}
+	if Accuracy(some, empty) != 0 {
+		t.Error("non-empty result against empty reference has accuracy 0")
+	}
+	if Completeness(empty, some) != 0 {
+		t.Error("empty result against non-empty reference has completeness 0")
+	}
+}
+
+func TestPerfectAgreement(t *testing.T) {
+	s := pattern.NewSet(pat(0), pat(0, 1))
+	q := Compare(s, s.Clone())
+	if q.Accuracy != 1 || q.Completeness != 1 {
+		t.Errorf("perfect agreement: %+v", q)
+	}
+	if ErrorRate(s, s.Clone()) != 0 {
+		t.Error("perfect agreement should have zero error rate")
+	}
+}
+
+func TestMissedAndSpurious(t *testing.T) {
+	want := pattern.NewSet(pat(0), pat(1))
+	got := pattern.NewSet(pat(1), pat(2))
+	missed := Missed(got, want)
+	if missed.Len() != 1 || !missed.Contains(pat(0)) {
+		t.Errorf("Missed=%v", missed.Patterns())
+	}
+	spurious := Spurious(got, want)
+	if spurious.Len() != 1 || !spurious.Contains(pat(2)) {
+		t.Errorf("Spurious=%v", spurious.Patterns())
+	}
+	if got := ErrorRate(got, want); got != 1 {
+		t.Errorf("ErrorRate=%v, want 1 (2 mislabeled / 2 frequent)", got)
+	}
+}
+
+func TestErrorRateEmptyReference(t *testing.T) {
+	if ErrorRate(pattern.NewSet(), pattern.NewSet()) != 0 {
+		t.Error("all-empty error rate should be 0")
+	}
+	if ErrorRate(pattern.NewSet(pat(0)), pattern.NewSet()) != 1 {
+		t.Error("one false positive against empty reference")
+	}
+}
+
+func TestMissDistances(t *testing.T) {
+	missed := pattern.NewSet(pat(0), pat(1), pat(2))
+	matches := map[string]float64{
+		pat(0).Key(): 0.11, // 10% above threshold 0.1
+		pat(1).Key(): 0.1,  // exactly at threshold
+		// pat(2) has no recorded match and is skipped
+	}
+	ds := MissDistances(missed, matches, 0.1)
+	if len(ds) != 2 {
+		t.Fatalf("got %d distances", len(ds))
+	}
+	// Patterns() is key-sorted: "0" then "1".
+	if math.Abs(ds[0]-0.1) > 1e-9 || ds[1] != 0 {
+		t.Errorf("distances=%v", ds)
+	}
+}

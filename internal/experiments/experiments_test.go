@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+func TestParseScale(t *testing.T) {
+	cases := map[string]Scale{"": Small, "small": Small, "medium": Medium, "paper": Paper}
+	for in, want := range cases {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q)=%v,%v", in, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if Small.String() != "small" || Medium.String() != "medium" || Paper.String() != "paper" {
+		t.Error("Scale.String broken")
+	}
+	if Scale(9).String() == "" {
+		t.Error("unknown scale should still render")
+	}
+}
+
+func TestPick(t *testing.T) {
+	if pick(Small, 1, 2, 3) != 1 || pick(Medium, 1, 2, 3) != 2 || pick(Paper, 1, 2, 3) != 3 {
+		t.Error("pick broken")
+	}
+}
+
+func TestPairChannelProperties(t *testing.T) {
+	sub, comp, err := pairChannel(10, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generative rows are stochastic with mass only on {i, partner(i)}.
+	for i, row := range sub {
+		sum := 0.0
+		for j, p := range row {
+			sum += p
+			if p > 0 && j != i && j != i^1 {
+				t.Errorf("row %d leaks mass to %d", i, j)
+			}
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+	// The Bayes posterior is the involution: C(i, partner)=α, C(i,i)=1-α.
+	for i := pattern.Symbol(0); i < 10; i++ {
+		if got := comp.C(i, i); math.Abs(got-0.7) > 1e-9 {
+			t.Errorf("C(%d,%d)=%v, want 0.7", i, i, got)
+		}
+		if got := comp.C(i, i^1); math.Abs(got-0.3) > 1e-9 {
+			t.Errorf("C(%d,partner)=%v, want 0.3", i, got)
+		}
+	}
+	if _, _, err := pairChannel(9, 0.3); err == nil {
+		t.Error("odd alphabet accepted by the pair channel")
+	}
+}
+
+func TestUniformChannelMatchesCompat(t *testing.T) {
+	sub, comp, err := uniformChannel(6, 0.24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sub {
+		if math.Abs(sub[i][i]-0.76) > 1e-12 {
+			t.Errorf("row %d diagonal %v", i, sub[i][i])
+		}
+	}
+	if got := comp.C(0, 1); math.Abs(got-0.24/5) > 1e-12 {
+		t.Errorf("C(0,1)=%v", got)
+	}
+	if Uniform.String() != "uniform" || Concentrated.String() != "concentrated" {
+		t.Error("NoiseKind.String broken")
+	}
+}
+
+func TestNoisyCopyZeroAlphaSharesDB(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w, err := newSamplingWorld(Small, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := noisyCopy(w.test, nil, 0, rng)
+	if err != nil || got != w.test {
+		t.Errorf("alpha=0 should return the database unchanged: %v", err)
+	}
+}
+
+func TestFilterK(t *testing.T) {
+	s := pattern.NewSet(
+		pattern.MustNew(0),
+		pattern.MustNew(0, 1),
+		pattern.MustNew(0, 1, 2),
+	)
+	f := filterK(s, 2)
+	if f.Len() != 2 || f.Contains(pattern.MustNew(0)) {
+		t.Errorf("filterK: %v", f.Patterns())
+	}
+}
+
+func TestClassAccuracy(t *testing.T) {
+	ref := pattern.NewSet(pattern.MustNew(0, 2)) // symbols 0 and 2
+	// Partner-substituted variant (1 = partner of 0; 3 = partner of 2).
+	got := pattern.NewSet(pattern.MustNew(1, 3), pattern.MustNew(4, 5))
+	acc := classAccuracy(got, ref)
+	if math.Abs(acc-0.5) > 1e-12 {
+		t.Errorf("classAccuracy=%v, want 0.5", acc)
+	}
+	if classAccuracy(pattern.NewSet(), ref) != 1 {
+		t.Error("empty result should be vacuously accurate")
+	}
+}
+
+func TestFig7UniformNoiseVariant(t *testing.T) {
+	// The uniform channel goes through the capped candidate-driven miner;
+	// just assert the α=0 row is exact and the machinery runs.
+	res, err := Fig7(Fig7Config{Scale: Small, Seed: 2, Noise: Uniform, Alphas: []float64{0, 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	r0 := res.Rows[0]
+	if r0.SupportCompleteness < 0.999 || r0.MatchCompleteness < 0.999 {
+		t.Errorf("α=0 not exact under uniform noise: %+v", r0)
+	}
+	// Uniform dilution filters the match model's spurious variants (at this
+	// alphabet size both models come out clean; EXPERIMENTS.md Model notes 3).
+	r2 := res.Rows[1]
+	if r2.MatchAccuracy < r2.SupportAccuracy {
+		t.Errorf("α=0.2 uniform: match accuracy %v below support %v",
+			r2.MatchAccuracy, r2.SupportAccuracy)
+	}
+	if r2.MatchAccuracy < 0.99 {
+		t.Errorf("α=0.2 uniform: match accuracy %v, want ~1 (dilution filtering)", r2.MatchAccuracy)
+	}
+}
+
+func TestFig13Buckets(t *testing.T) {
+	res, err := Fig13(Fig13Config{Scale: Small, Seed: 1, Rounds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Histogram.Buckets() != 4 {
+		t.Errorf("buckets=%d", res.Histogram.Buckets())
+	}
+	if res.Frequent == 0 {
+		t.Error("empty truth set")
+	}
+}

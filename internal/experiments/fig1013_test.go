@@ -1,0 +1,81 @@
+package experiments
+
+import "testing"
+
+func TestFig10SmallShape(t *testing.T) {
+	res, err := Fig10(Fig10Config{Scale: Small, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Table())
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	// Ambiguity shrinks with sample size for every alpha (paper's Fig 10).
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	for i := range res.Config.Alphas {
+		if last.Ambiguous[i] >= first.Ambiguous[i] {
+			t.Errorf("alpha=%v: ambiguous grew from %d to %d with more samples",
+				res.Config.Alphas[i], first.Ambiguous[i], last.Ambiguous[i])
+		}
+	}
+}
+
+func TestFig11SmallShape(t *testing.T) {
+	res, err := Fig11(Fig11Config{Scale: Small, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s\n%s", res.Table(), res.RatioTable())
+	// Spread tightens with more non-eternal symbols (paper's Fig 11(a)).
+	for ai := range res.Config.Alphas {
+		for i := 1; i < len(res.Spreads); i++ {
+			if res.Spreads[i].Spreads[ai] > res.Spreads[i-1].Spreads[ai]+1e-9 {
+				t.Errorf("alpha idx %d: spread grew from level %d to %d", ai, i, i+1)
+			}
+		}
+	}
+	// Restricted spread prunes ambiguity (paper's Fig 11(b)).
+	for _, row := range res.Ratios {
+		if row.Ratio > 1 {
+			t.Errorf("alpha=%v: restricted spread increased ambiguity (ratio %v)", row.Alpha, row.Ratio)
+		}
+	}
+}
+
+func TestFig12SmallShape(t *testing.T) {
+	res, err := Fig12(Fig12Config{Scale: Small, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Table())
+	// Higher confidence -> more ambiguous patterns (wider ε).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Ambiguous < res.Rows[i-1].Ambiguous {
+			t.Errorf("ambiguity shrank as confidence grew: %+v", res.Rows)
+			break
+		}
+	}
+	// The bound is conservative: even at confidence 0.9 the error rate
+	// should be far below delta=0.1.
+	if res.Rows[0].ErrorRate > 0.05 {
+		t.Errorf("error rate %v at confidence 0.9", res.Rows[0].ErrorRate)
+	}
+}
+
+func TestFig13SmallShape(t *testing.T) {
+	res, err := Fig13(Fig13Config{Scale: Small, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("missed=%d truth=%d\n%s", res.Missed, res.Frequent, res.Table())
+	if res.Missed == 0 {
+		t.Skip("no misses provoked at this seed; distribution unavailable")
+	}
+	fr := res.Histogram.Fractions()
+	// Misses concentrate near the threshold: the first bucket dominates the
+	// far tail (paper: >90% within 5%, none beyond 15%).
+	if fr[0] < fr[len(fr)-1] {
+		t.Errorf("missed-pattern mass not concentrated near threshold: %v", fr)
+	}
+}

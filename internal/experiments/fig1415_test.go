@@ -1,0 +1,51 @@
+package experiments
+
+import "testing"
+
+func TestFig14SmallShape(t *testing.T) {
+	res, err := Fig14(Fig14Config{Scale: Small, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Table())
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// The probabilistic algorithms never scan more than the deterministic
+		// look-ahead baseline at low thresholds, and border collapsing never
+		// scans more than the level-wise finalizer (the paper's Fig 14(b)).
+		if row.CollapseScans > row.LevelWiseScans {
+			t.Errorf("min=%v: collapse %d scans > level-wise %d", row.MinMatch, row.CollapseScans, row.LevelWiseScans)
+		}
+		if row.CollapseScans < 1 || row.MaxMinerScans < 1 {
+			t.Errorf("min=%v: degenerate scan counts %+v", row.MinMatch, row)
+		}
+	}
+	// At the lowest threshold the contrast should be visible.
+	last := res.Rows[len(res.Rows)-1]
+	if last.CollapseScans >= last.MaxMinerScans && last.CollapseProbed > 0 {
+		t.Logf("note: collapse %d scans vs maxminer %d at min=%v", last.CollapseScans, last.MaxMinerScans, last.MinMatch)
+	}
+}
+
+func TestFig15SmallShape(t *testing.T) {
+	res, err := Fig15(Fig15Config{Scale: Small, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Table())
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	// Paper's Fig 15(a): scans decrease (weakly) as m grows.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.Scans > first.Scans {
+		t.Errorf("scans grew with m: %d (m=%d) -> %d (m=%d)", first.Scans, first.M, last.Scans, last.M)
+	}
+	for _, row := range res.Rows {
+		if row.Frequent == 0 {
+			t.Errorf("m=%d: no frequent patterns found", row.M)
+		}
+	}
+}

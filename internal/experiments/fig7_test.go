@@ -1,0 +1,46 @@
+package experiments
+
+import "testing"
+
+func TestFig7SmallShape(t *testing.T) {
+	res, err := Fig7(Fig7Config{Scale: Small, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("workload: %s, |R(k>=%d)|=%d", res.Workload, res.Config.MinK, res.RefSize)
+	t.Logf("\n%s", res.Table())
+	t.Logf("\n%s", res.LevelTable())
+	if res.RefSize == 0 {
+		t.Fatal("empty reference set")
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	// α=0: no noise, identity-equivalent matrices → both models exact.
+	r0 := res.Rows[0]
+	if r0.SupportAccuracy < 0.999 || r0.SupportCompleteness < 0.999 ||
+		r0.MatchAccuracy < 0.999 || r0.MatchCompleteness < 0.999 {
+		t.Errorf("α=0 should be exact: %+v", r0)
+	}
+	// The paper's headline robustness claim: the match model's completeness
+	// stays high across the whole sweep while the support model degrades.
+	last := res.Rows[len(res.Rows)-1]
+	if last.MatchCompleteness <= last.SupportCompleteness {
+		t.Errorf("α=0.6: match completeness %v should exceed support %v",
+			last.MatchCompleteness, last.SupportCompleteness)
+	}
+	if last.SupportCompleteness > 0.6 {
+		t.Errorf("α=0.6: support completeness %v should have degraded", last.SupportCompleteness)
+	}
+	for _, row := range res.Rows {
+		if row.MatchCompleteness < 0.9 {
+			t.Errorf("α=%v: match completeness dropped to %v", row.Alpha, row.MatchCompleteness)
+		}
+		// Up to mutation-partner equivalence the match model recovers the
+		// right structure even when plain accuracy punishes it.
+		if row.MatchClassAccuracy < row.MatchAccuracy-1e-9 {
+			t.Errorf("α=%v: class accuracy %v below plain accuracy %v",
+				row.Alpha, row.MatchClassAccuracy, row.MatchAccuracy)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/eval"
+	"repro/internal/match"
+	"repro/internal/stats"
+	"repro/internal/support"
+)
+
+// Fig8Config parameterizes the matrix-error robustness experiment (§5.1,
+// Figure 8): the test database is generated at a fixed noise level, but the
+// compatibility matrix handed to the miner has its diagonal perturbed by e%
+// (renormalized), modeling an empirically estimated matrix.
+type Fig8Config struct {
+	Scale Scale
+	Seed  int64
+	// Alpha is the (true) noise level of the test database. 0 = default 0.2.
+	Alpha float64
+	// Errors is the sweep of diagonal error fractions; nil = {0 … 0.14}.
+	Errors []float64
+	// MinMatch and MinK as in Fig7. 0 = Fig7 defaults.
+	MinMatch float64
+	MinK     int
+}
+
+func (c *Fig8Config) setDefaults() {
+	if c.Alpha == 0 {
+		c.Alpha = 0.2
+	}
+	if c.Errors == nil {
+		c.Errors = []float64{0, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14}
+	}
+	if c.MinMatch == 0 {
+		c.MinMatch = pick(c.Scale, 0.0047, 0.002, 0.0012)
+	}
+	if c.MinK == 0 {
+		c.MinK = 4
+	}
+}
+
+// Fig8Row is one error level of the sweep.
+type Fig8Row struct {
+	Error                  float64
+	Accuracy, Completeness float64
+}
+
+// Fig8Result bundles the sweep.
+type Fig8Result struct {
+	Config Fig8Config
+	Rows   []Fig8Row
+}
+
+// Fig8 measures the match model's robustness to error in the compatibility
+// matrix itself.
+func Fig8(cfg Fig8Config) (*Fig8Result, error) {
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 8))
+	world, err := fig7Standard(cfg.Scale, rng)
+	if err != nil {
+		return nil, err
+	}
+	maxLen, maxGap := world.maxK, 0
+
+	refAll, _, err := support.MineBySweep(world.std, cfg.MinMatch, maxLen, maxGap)
+	if err != nil {
+		return nil, err
+	}
+	ref := filterK(refAll, cfg.MinK)
+
+	sub, comp, err := pairChannel(world.m, cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	test, err := noisyCopy(world.std, sub, cfg.Alpha, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig8Result{Config: cfg}
+	for _, e := range cfg.Errors {
+		m := comp
+		if e > 0 {
+			m, err = comp.Perturb(e, rng)
+			if err != nil {
+				return nil, err
+			}
+		}
+		got, _, err := match.MineBySweep(test, m, cfg.MinMatch, maxLen, maxGap)
+		if err != nil {
+			return nil, err
+		}
+		q := eval.Compare(filterK(got, cfg.MinK), ref)
+		res.Rows = append(res.Rows, Fig8Row{Error: e, Accuracy: q.Accuracy, Completeness: q.Completeness})
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *Fig8Result) Table() *stats.Table {
+	t := stats.NewTable("matrix_error", "match_acc", "match_comp")
+	for _, row := range r.Rows {
+		t.AddRow(row.Error, row.Accuracy, row.Completeness)
+	}
+	return t
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import "testing"
+
+func TestFig8SmallShape(t *testing.T) {
+	res, err := Fig8(Fig8Config{Scale: Small, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Table())
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	// e=0 equals the plain α=0.2 run; quality must be positive and the
+	// degradation with error moderate (the paper's point).
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if first.Completeness < 0.95 {
+		t.Errorf("e=0 completeness %v", first.Completeness)
+	}
+	if last.Completeness < 0.6 {
+		t.Errorf("e=0.14 completeness %v degraded more than moderately", last.Completeness)
+	}
+}
+
+func TestFig9SmallShape(t *testing.T) {
+	res, err := Fig9(Fig9Config{Scale: Small, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Table())
+	if len(res.Rows) < 3 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	// The match model keeps at least as many candidates alive at every
+	// level, and strictly more somewhere past level 1 (the paper's point).
+	more := false
+	for _, row := range res.Rows {
+		if row.MatchCandidates < row.SupportCandidates {
+			t.Errorf("k=%d: match candidates %d < support %d", row.K, row.MatchCandidates, row.SupportCandidates)
+		}
+		if row.K > 1 && row.MatchCandidates > row.SupportCandidates {
+			more = true
+		}
+	}
+	if !more {
+		t.Error("match model never had more candidates than support")
+	}
+}
+
+func TestBlosumSmallShape(t *testing.T) {
+	res, err := Blosum(BlosumConfig{Scale: Small, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("|R|=%d\n%s", res.RefSize, res.Table())
+	if res.RefSize == 0 {
+		t.Fatal("empty reference")
+	}
+	if res.MatchCompleteness <= res.SupportCompleteness {
+		t.Errorf("match completeness %v should exceed support %v", res.MatchCompleteness, res.SupportCompleteness)
+	}
+	if res.MatchAccuracy <= res.SupportAccuracy {
+		t.Errorf("match accuracy %v should exceed support %v", res.MatchAccuracy, res.SupportAccuracy)
+	}
+	if res.MatchCompleteness < 0.85 {
+		t.Errorf("match completeness too low: %v", res.MatchCompleteness)
+	}
+}

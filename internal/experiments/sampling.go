@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/compat"
+	"repro/internal/core"
+	"repro/internal/miner"
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+)
+
+// samplingWorld is the shared workload of the sampling experiments (Figures
+// 10–13): an m=20 concentrated-noise test database with planted motifs and a
+// narrow mining space (the counts under study — ambiguous patterns, error
+// rates — are driven by the Chernoff machinery, not by lattice depth).
+type samplingWorld struct {
+	test   *seqdb.MemDB
+	comp   *compat.Matrix
+	m      int
+	maxLen int
+	maxGap int
+}
+
+func newSamplingWorld(s Scale, alpha float64, seed int64) (*samplingWorld, error) {
+	rng := rand.New(rand.NewSource(seed))
+	const m = 20
+	motifs := []pattern.Pattern{
+		{0, 1, 2}, {6, 7, 8}, {12, 13, 14},
+	}
+	weights := []float64{0.25, 0.2, 0.15}
+	n := pick(s, 1000, 3000, 10000)
+	std := seqdb.NewMemDB(nil)
+	for i := 0; i < n; i++ {
+		l := 12 + rng.Intn(9)
+		seq := make([]pattern.Symbol, l)
+		for j := range seq {
+			seq[j] = pattern.Symbol(rng.Intn(m))
+		}
+		u := rng.Float64()
+		for mi, motif := range motifs {
+			u -= weights[mi]
+			if u >= 0 {
+				continue
+			}
+			pos := rng.Intn(l - motif.Len() + 1)
+			copy(seq[pos:], motif)
+			break
+		}
+		std.Append(seq)
+	}
+	sub, comp, err := pairChannel(m, alpha)
+	if err != nil {
+		return nil, err
+	}
+	test, err := noisyCopy(std, sub, alpha, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &samplingWorld{test: test, comp: comp, m: m, maxLen: 3, maxGap: 0}, nil
+}
+
+// phase2 runs Phases 1+2 on the world with the given sample size and delta.
+// useSpread toggles Claim 4.2's restricted spread (the Figure 11(b)
+// ablation: useSpread=false classifies with the default spread R=1).
+func (w *samplingWorld) phase2(n int, minMatch, delta float64, useSpread bool, rng *rand.Rand) (*miner.Result, error) {
+	symbolMatch, sample, err := core.Phase1(w.test, w.comp, n, rng)
+	if err != nil {
+		return nil, err
+	}
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("experiments: empty sample")
+	}
+	opts := miner.Options{MaxLen: w.maxLen, MaxGap: w.maxGap}
+	if useSpread {
+		return miner.SampleChernoff(w.m, miner.MatchSampleValuer(w.comp, sample),
+			symbolMatch, minMatch, delta, len(sample), opts)
+	}
+	// Ablation: identical engine, but the classifier ignores the restricted
+	// spread and uses the full range R=1 (level 1 stays exactly labeled).
+	cls, err := newUnitSpreadClassifier(minMatch, delta, len(sample))
+	if err != nil {
+		return nil, err
+	}
+	e := &miner.Engine{
+		M:           w.m,
+		Opts:        opts,
+		Value:       miner.MatchSampleValuer(w.comp, sample),
+		SymbolMatch: symbolMatch,
+		MinMatch:    minMatch,
+		Classify:    cls,
+	}
+	return e.Run()
+}

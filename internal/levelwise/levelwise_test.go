@@ -1,0 +1,142 @@
+package levelwise
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/border"
+	"repro/internal/pattern"
+)
+
+func chain(length int) *pattern.Set {
+	s := pattern.NewSet()
+	for l := 1; l <= length; l++ {
+		p := make(pattern.Pattern, l)
+		for i := range p {
+			p[i] = pattern.Symbol(i)
+		}
+		s.Add(p)
+	}
+	return s
+}
+
+type levelOracle struct {
+	cutoff int
+	calls  int
+}
+
+func (o *levelOracle) probe(ps []pattern.Pattern) ([]float64, error) {
+	o.calls++
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p.K() <= o.cutoff {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}
+
+func TestFinalizeMatchesCollapseResult(t *testing.T) {
+	for _, cutoff := range []int{0, 1, 3, 5, 8} {
+		for budget := 1; budget <= 4; budget++ {
+			lw := &levelOracle{cutoff: cutoff}
+			bc := &levelOracle{cutoff: cutoff}
+			resLW, err := Finalize(border.Config{MinMatch: 0.5, MemBudget: budget, Probe: lw.probe}, pattern.NewSet(), chain(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resBC, err := border.Collapse(border.Config{MinMatch: 0.5, MemBudget: budget, Probe: bc.probe}, pattern.NewSet(), chain(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resLW.Frequent.Len() != resBC.Frequent.Len() {
+				t.Fatalf("cutoff=%d budget=%d: level-wise %d frequent, collapse %d",
+					cutoff, budget, resLW.Frequent.Len(), resBC.Frequent.Len())
+			}
+			for _, p := range resBC.Frequent.Patterns() {
+				if !resLW.Frequent.Contains(p) {
+					t.Errorf("level-wise missing %v", p)
+				}
+			}
+		}
+	}
+}
+
+func TestBottomUpOrder(t *testing.T) {
+	picked := PickBottomUp(chain(5), 3)
+	if len(picked) != 3 {
+		t.Fatalf("picked %d", len(picked))
+	}
+	for i, p := range picked {
+		if p.K() != i+1 {
+			t.Errorf("pick %d at level %d, want %d", i, p.K(), i+1)
+		}
+	}
+}
+
+func TestLevelWiseNeedsMoreScansOnDeepChains(t *testing.T) {
+	// The paper's Figure 14(b) contrast: on a long chain with a deep border,
+	// bottom-up probing needs a scan per level while collapsing needs O(log).
+	const length, cutoff = 32, 31
+	lw := &levelOracle{cutoff: cutoff}
+	bc := &levelOracle{cutoff: cutoff}
+	resLW, err := Finalize(border.Config{MinMatch: 0.5, MemBudget: 1, Probe: lw.probe}, pattern.NewSet(), chain(length))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBC, err := border.Collapse(border.Config{MinMatch: 0.5, MemBudget: 1, Probe: bc.probe}, pattern.NewSet(), chain(length))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resLW.Scans <= resBC.Scans {
+		t.Errorf("level-wise %d scans vs collapse %d: expected collapse to win", resLW.Scans, resBC.Scans)
+	}
+	if resBC.Scans > 7 {
+		t.Errorf("collapse used %d scans, want O(log 32)", resBC.Scans)
+	}
+	if resLW.Scans < length-2 {
+		t.Errorf("level-wise used only %d scans on a %d-chain with budget 1", resLW.Scans, length)
+	}
+}
+
+func TestRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		top := make(pattern.Pattern, 5)
+		for i := range top {
+			top[i] = pattern.Symbol(rng.Intn(3))
+		}
+		region := pattern.NewSet(top)
+		var rec func(p pattern.Pattern)
+		rec = func(p pattern.Pattern) {
+			for _, q := range p.ImmediateSubpatterns() {
+				if region.Add(q) {
+					rec(q)
+				}
+			}
+		}
+		rec(top)
+		members := region.Patterns()
+		truthBorder := pattern.NewSet(members[rng.Intn(len(members))])
+		probe := func(ps []pattern.Pattern) ([]float64, error) {
+			out := make([]float64, len(ps))
+			for i, p := range ps {
+				if truthBorder.CoveredBy(p) {
+					out[i] = 1
+				}
+			}
+			return out, nil
+		}
+		budget := 1 + rng.Intn(4)
+		res, err := Finalize(border.Config{MinMatch: 0.5, MemBudget: budget, Probe: probe}, pattern.NewSet(), region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range members {
+			want := truthBorder.CoveredBy(p)
+			if got := res.Frequent.Contains(p); got != want {
+				t.Fatalf("trial %d: %v frequent=%v want %v", trial, p, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package match
+
+import (
+	"repro/internal/compat"
+	"repro/internal/pattern"
+)
+
+// rowCache materializes dense matrix rows on demand. For the dense Matrix it
+// borrows internal rows directly; for a SparseMatrix (or any other Source)
+// it expands rows from the sparse adjacency once and shares them across all
+// patterns compiled against the same cache, so a batch over a huge alphabet
+// pays O(m) per *distinct* pattern symbol, not per pattern position.
+type rowCache struct {
+	src   compat.Source
+	dense interface {
+		Row(pattern.Symbol) []float64
+	}
+	rows map[pattern.Symbol][]float64
+}
+
+func newRowCache(src compat.Source) *rowCache {
+	rc := &rowCache{src: src}
+	if d, ok := src.(interface {
+		Row(pattern.Symbol) []float64
+	}); ok {
+		rc.dense = d
+	} else {
+		rc.rows = make(map[pattern.Symbol][]float64)
+	}
+	return rc
+}
+
+func (rc *rowCache) row(d pattern.Symbol) []float64 {
+	if rc.dense != nil {
+		return rc.dense.Row(d)
+	}
+	if r, ok := rc.rows[d]; ok {
+		return r
+	}
+	r := make([]float64, rc.src.Size())
+	for _, e := range rc.src.ObservedGiven(d) {
+		r[e.Sym] = e.P
+	}
+	rc.rows[d] = r
+	return r
+}
+
+// Compiled is a pattern pre-processed for repeated matching against many
+// sequences. Compilation hoists the eternal positions out of the inner loop,
+// caches each position's matrix row, and builds a first-symbol filter that
+// skips windows whose first observed symbol has zero compatibility with the
+// pattern's first symbol — the sparse-matrix fast path the paper alludes to
+// for near-Θ(|S|) match computation (§4.2).
+type Compiled struct {
+	p       pattern.Pattern
+	length  int
+	offsets []int       // offsets of non-eternal positions within the window
+	rows    [][]float64 // matrix row for each non-eternal position
+	firstOK []bool      // firstOK[obs]: window starting at obs can be non-zero
+}
+
+// Compile prepares p for matching under c. The pattern must be valid.
+func Compile(c compat.Source, p pattern.Pattern) (*Compiled, error) {
+	return compileWith(newRowCache(c), c.Size(), p)
+}
+
+func compileWith(rc *rowCache, m int, p pattern.Pattern) (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cp := &Compiled{p: p.Clone(), length: len(p)}
+	for i, d := range p {
+		if d.IsEternal() {
+			continue
+		}
+		cp.offsets = append(cp.offsets, i)
+		cp.rows = append(cp.rows, rc.row(d))
+	}
+	firstRow := cp.rows[0] // position 0 is non-eternal by validity
+	cp.firstOK = make([]bool, m)
+	for obs, v := range firstRow {
+		cp.firstOK[obs] = v > 0
+	}
+	return cp, nil
+}
+
+// Pattern returns the compiled pattern.
+func (cp *Compiled) Pattern() pattern.Pattern { return cp.p }
+
+// Match computes M(P,S) exactly like Sequence but with the precompiled
+// structure.
+func (cp *Compiled) Match(seq []pattern.Symbol) float64 {
+	l := cp.length
+	if len(seq) < l {
+		return 0
+	}
+	best := 0.0
+	for i := 0; i+l <= len(seq); i++ {
+		if !cp.firstOK[seq[i]] {
+			continue
+		}
+		v := 1.0
+		for j, off := range cp.offsets {
+			v *= cp.rows[j][seq[i+off]]
+			if v <= best {
+				v = 0
+				break
+			}
+		}
+		if v > best {
+			best = v
+			if best == 1 {
+				return 1
+			}
+		}
+	}
+	return best
+}
+
+// CompiledSet matches a batch of patterns against sequences; it is the
+// counting kernel used by the full-database probe scans, where a memory
+// budget worth of pattern counters is evaluated in a single pass. All
+// patterns in a set share one row cache.
+type CompiledSet struct {
+	patterns []*Compiled
+	sums     []float64
+	n        int
+}
+
+// CompileSet compiles each pattern; the set accumulates per-pattern sums of
+// sequence matches.
+func CompileSet(c compat.Source, ps []pattern.Pattern) (*CompiledSet, error) {
+	rc := newRowCache(c)
+	set := &CompiledSet{
+		patterns: make([]*Compiled, len(ps)),
+		sums:     make([]float64, len(ps)),
+	}
+	for i, p := range ps {
+		cp, err := compileWith(rc, c.Size(), p)
+		if err != nil {
+			return nil, err
+		}
+		set.patterns[i] = cp
+	}
+	return set, nil
+}
+
+// Observe accumulates one sequence's match for every pattern.
+func (s *CompiledSet) Observe(seq []pattern.Symbol) {
+	for i, cp := range s.patterns {
+		s.sums[i] += cp.Match(seq)
+	}
+	s.n++
+}
+
+// Matches returns each pattern's database match after n observed sequences
+// (s.n is used when n <= 0).
+func (s *CompiledSet) Matches(n int) []float64 {
+	if n <= 0 {
+		n = s.n
+	}
+	out := make([]float64, len(s.sums))
+	if n == 0 {
+		return out
+	}
+	for i, v := range s.sums {
+		out[i] = v / float64(n)
+	}
+	return out
+}

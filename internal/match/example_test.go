@@ -1,0 +1,28 @@
+package match_test
+
+import (
+	"fmt"
+
+	"repro/internal/compat"
+	"repro/internal/match"
+	"repro/internal/pattern"
+)
+
+// ExampleSequence reproduces the paper's §3 worked example: the match of
+// d1 d2 in the sequence d1 d2 d2 d3 d4 d1 is the best window, 0.72.
+func ExampleSequence() {
+	c := compat.Fig2()
+	p := pattern.MustNew(0, 1) // d1 d2
+	seq := []pattern.Symbol{0, 1, 1, 2, 3, 0}
+	fmt.Printf("%.2f\n", match.Sequence(c, p, seq))
+	// Output: 0.72
+}
+
+// ExampleSegment shows the don't-care position contributing factor 1.
+func ExampleSegment() {
+	c := compat.Fig2()
+	p := pattern.MustNew(0, pattern.Eternal, 1) // d1 * d2
+	seg := []pattern.Symbol{0, 1, 1}            // d1 d2 d2
+	fmt.Printf("%.2f\n", match.Segment(c, p, seg))
+	// Output: 0.72
+}

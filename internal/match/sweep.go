@@ -1,0 +1,133 @@
+package match
+
+import (
+	"fmt"
+
+	"repro/internal/compat"
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+)
+
+// LevelSweep computes the exact database match of every k-pattern (gaps at
+// most maxGap, total length at most maxLen) with any non-zero match, by
+// enumerating each observed window's compatible true-symbol combinations
+// through the sparse matrix columns. It returns the sum over sequences of
+// the per-sequence best-window match, keyed by Pattern.Key (divide by the
+// sequence count for Definition 3.7's match).
+//
+// floor > 0 prunes enumeration paths whose running product falls below it;
+// a pattern is then undercounted by at most floor per sequence, so any
+// pattern with true match >= minMatch still reports at least
+// minMatch - floor. Pass floor = 0 for exact sums.
+//
+// The sweep's cost is windows × Π(column sizes), so it is intended for
+// sparse compatibility matrices (the concentrated-mutation workloads); with
+// a dense matrix use the candidate-driven miner instead.
+func LevelSweep(db seqdb.Scanner, c compat.Source, k, maxLen, maxGap int, floor float64) (map[string]float64, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("match: k %d < 1", k)
+	}
+	if floor < 0 {
+		return nil, fmt.Errorf("match: negative floor")
+	}
+	shapes := pattern.Shapes(k, maxLen, maxGap)
+	offsets := make([][]int, len(shapes))
+	for i, s := range shapes {
+		offsets[i] = s.Offsets()
+	}
+	sums := make(map[string]float64)
+	best := make(map[string]float64) // per-sequence best window value per key
+	syms := make([]pattern.Symbol, k)
+	cols := make([][]compat.Entry, k)
+
+	var rec func(s pattern.Shape, depth int, product float64)
+	rec = func(s pattern.Shape, depth int, product float64) {
+		if depth == k {
+			key := pattern.ShapeKey(s, syms)
+			if product > best[key] {
+				best[key] = product
+			}
+			return
+		}
+		for _, e := range cols[depth] {
+			v := product * e.P
+			if v <= floor {
+				continue
+			}
+			syms[depth] = e.Sym
+			rec(s, depth+1, v)
+		}
+	}
+
+	err := db.Scan(func(id int, seq []pattern.Symbol) error {
+		for key := range best {
+			delete(best, key)
+		}
+		for si, s := range shapes {
+			if len(seq) < s.Len {
+				continue
+			}
+			for start := 0; start+s.Len <= len(seq); start++ {
+				for i, off := range offsets[si] {
+					cols[i] = c.TrueGiven(seq[start+off])
+				}
+				rec(s, 0, 1)
+			}
+		}
+		for key, v := range best {
+			sums[key] += v
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sums, nil
+}
+
+// MineBySweep computes the complete frequent set under the match measure by
+// window sweeping, level by level, stopping at the first level with no
+// frequent pattern (valid by Apriori: dropping an end symbol of a frequent
+// (k+1)-pattern yields a frequent k-pattern within the same bounds). One
+// scan per level; results match miner.Exhaustive with the match measure.
+// The per-path floor is set to minMatch/64, keeping the classification error
+// far below the threshold granularity (see LevelSweep).
+func MineBySweep(db seqdb.Scanner, c compat.Source, minMatch float64, maxLen, maxGap int) (*pattern.Set, map[string]float64, error) {
+	if minMatch <= 0 || minMatch > 1 {
+		return nil, nil, fmt.Errorf("match: minMatch %v outside (0,1]", minMatch)
+	}
+	if maxLen < 1 || maxGap < 0 {
+		return nil, nil, fmt.Errorf("match: bad bounds maxLen=%d maxGap=%d", maxLen, maxGap)
+	}
+	n := db.Len()
+	if n == 0 {
+		return pattern.NewSet(), nil, nil
+	}
+	frequent := pattern.NewSet()
+	values := make(map[string]float64)
+	floor := minMatch / 64
+	for k := 1; k <= maxLen; k++ {
+		sums, err := LevelSweep(db, c, k, maxLen, maxGap, floor)
+		if err != nil {
+			return nil, nil, err
+		}
+		added := 0
+		for key, sum := range sums {
+			m := sum / float64(n)
+			if m < minMatch {
+				continue
+			}
+			p, err := pattern.ParseKey(key)
+			if err != nil {
+				return nil, nil, fmt.Errorf("match: internal key %q: %w", key, err)
+			}
+			frequent.Add(p)
+			values[key] = m
+			added++
+		}
+		if added == 0 {
+			break
+		}
+	}
+	return frequent, values, nil
+}

@@ -1,0 +1,190 @@
+package match_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/compat"
+	"repro/internal/match"
+	"repro/internal/miner"
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+)
+
+const (
+	d1 = pattern.Symbol(0)
+	d2 = pattern.Symbol(1)
+	d3 = pattern.Symbol(2)
+	d4 = pattern.Symbol(3)
+)
+
+func fig4DB() *seqdb.MemDB {
+	return seqdb.NewMemDB([][]pattern.Symbol{
+		{d1, d2, d3, d1},
+		{d4, d2, d1},
+		{d3, d4, d2, d1},
+		{d2, d2},
+	})
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// pairMatrix is a sparse concentrated-noise matrix: i stays with 1-alpha,
+// flips to (i+1) mod m with alpha.
+func pairMatrix(m int, alpha float64) *compat.Matrix {
+	sub := make([][]float64, m)
+	for i := range sub {
+		sub[i] = make([]float64, m)
+		sub[i][i] = 1 - alpha
+		sub[i][(i+1)%m] += alpha
+	}
+	c, err := compat.FromChannel(sub, nil)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func sweepSetsEqual(t *testing.T, got, want *pattern.Set, label string) {
+	t.Helper()
+	for _, p := range want.Patterns() {
+		if !got.Contains(p) {
+			t.Errorf("%s: missing %v", label, p)
+		}
+	}
+	for _, p := range got.Patterns() {
+		if !want.Contains(p) {
+			t.Errorf("%s: extra %v", label, p)
+		}
+	}
+}
+
+func TestMineBySweepMatchesExhaustiveFig4(t *testing.T) {
+	c := compat.Fig2()
+	for _, minMatch := range []float64{0.02, 0.05, 0.1, 0.3} {
+		for _, bounds := range [][2]int{{3, 0}, {3, 1}, {4, 1}} {
+			maxLen, maxGap := bounds[0], bounds[1]
+			db := fig4DB()
+			gotSet, gotVals, err := match.MineBySweep(db, c, minMatch, maxLen, maxGap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := miner.Exhaustive(5, miner.MatchDBValuer(fig4DB(), c), minMatch,
+				miner.Options{MaxLen: maxLen, MaxGap: maxGap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sweepSetsEqual(t, gotSet, want.Frequent, fmt.Sprintf("min=%v len=%d gap=%d", minMatch, maxLen, maxGap))
+			// Values must agree with the reference computation up to the
+			// documented floor-pruning undercount of minMatch/64.
+			tol := minMatch / 64
+			for key, v := range gotVals {
+				if ref, ok := want.Values[key]; ok {
+					if diff := ref - v; diff > tol+1e-12 || diff < -1e-9 {
+						t.Errorf("value mismatch for %s: sweep %v vs engine %v", key, v, ref)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMineBySweepMatchesExhaustiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 8; trial++ {
+		m := 4 + rng.Intn(4)
+		c := pairMatrix(m, 0.1+0.4*rng.Float64())
+		seqs := make([][]pattern.Symbol, 15)
+		for i := range seqs {
+			s := make([]pattern.Symbol, 4+rng.Intn(10))
+			for j := range s {
+				s[j] = pattern.Symbol(rng.Intn(m))
+			}
+			seqs[i] = s
+		}
+		minMatch := 0.05 + 0.2*rng.Float64()
+		gotSet, _, err := match.MineBySweep(seqdb.NewMemDB(seqs), c, minMatch, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := miner.Exhaustive(m, miner.MatchDBValuer(seqdb.NewMemDB(seqs), c), minMatch,
+			miner.Options{MaxLen: 4, MaxGap: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweepSetsEqual(t, gotSet, want.Frequent, fmt.Sprintf("trial %d", trial))
+	}
+}
+
+func TestLevelSweepExactSums(t *testing.T) {
+	// With floor 0, level sums must equal the direct per-pattern computation.
+	c := compat.Fig2()
+	db := fig4DB()
+	sums, err := match.LevelSweep(db, c, 2, 3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, sum := range sums {
+		p, err := pattern.ParseKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := match.DB(fig4DB(), match.NewMatch(c), []pattern.Pattern{p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sum / 4; !almost(got, direct[0]) {
+			t.Errorf("%v: sweep %v vs direct %v", p, got, direct[0])
+		}
+	}
+	if len(sums) == 0 {
+		t.Fatal("no 2-patterns found")
+	}
+}
+
+func TestLevelSweepFloorUndercountsBounded(t *testing.T) {
+	c := compat.Fig2()
+	exact, err := match.LevelSweep(fig4DB(), c, 2, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const floor = 0.05
+	pruned, err := match.LevelSweep(fig4DB(), c, 2, 2, 0, floor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, ex := range exact {
+		pr := pruned[key] // zero if fully pruned
+		if pr > ex+1e-12 {
+			t.Errorf("%s: pruned sum %v exceeds exact %v", key, pr, ex)
+		}
+		// Undercount per sequence is at most floor.
+		if ex-pr > 4*floor+1e-12 {
+			t.Errorf("%s: undercount %v exceeds bound", key, ex-pr)
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	c := compat.Fig2()
+	db := fig4DB()
+	if _, err := match.LevelSweep(db, c, 0, 3, 0, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := match.LevelSweep(db, c, 2, 3, 0, -1); err == nil {
+		t.Error("negative floor accepted")
+	}
+	if _, _, err := match.MineBySweep(db, c, 0, 3, 0); err == nil {
+		t.Error("minMatch=0 accepted")
+	}
+	if _, _, err := match.MineBySweep(db, c, 0.1, 0, 0); err == nil {
+		t.Error("maxLen=0 accepted")
+	}
+	empty := seqdb.NewMemDB(nil)
+	set, _, err := match.MineBySweep(empty, c, 0.1, 3, 0)
+	if err != nil || set.Len() != 0 {
+		t.Errorf("empty db: %v, %v", set, err)
+	}
+}

@@ -1,0 +1,97 @@
+package match_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/blosum"
+	"repro/internal/compat"
+	"repro/internal/match"
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+	"repro/internal/support"
+)
+
+// TestZincFingerSignature exercises the paper's §3 position-sensitive
+// example: the Zinc Finger transcription-factor signature
+// C**C************H**H — fixed-length gaps encoded with eternal symbols.
+func TestZincFingerSignature(t *testing.T) {
+	aa := blosum.Alphabet()
+	sym := func(letter string) pattern.Symbol {
+		s, err := aa.Symbol(letter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	c, h := sym("C"), sym("H")
+
+	// Build the signature exactly as printed in the paper: C, 2 gaps, C,
+	// 12 gaps, H, 2 gaps, H (total length 20).
+	sig := pattern.Pattern{c}
+	sig = pattern.Extend(sig, 2, c)
+	sig = pattern.Extend(sig, 12, h)
+	sig = pattern.Extend(sig, 2, h)
+	if sig.Len() != 20 || sig.K() != 4 {
+		t.Fatalf("signature shape: len=%d k=%d", sig.Len(), sig.K())
+	}
+	if err := sig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fragment carrying the signature embedded in random residues.
+	rng := rand.New(rand.NewSource(3))
+	frag := make([]pattern.Symbol, 40)
+	for i := range frag {
+		frag[i] = pattern.Symbol(rng.Intn(blosum.M))
+	}
+	const at = 7
+	for i, s := range sig {
+		if !s.IsEternal() {
+			frag[at+i] = s
+		}
+	}
+
+	// Exact occurrence and noise-free match agree.
+	if !support.Occurs(sig, frag) {
+		t.Fatal("signature not found by exact matching")
+	}
+	ident := compat.Identity(blosum.M)
+	if got := match.Sequence(ident, sig, frag); got != 1 {
+		t.Fatalf("noise-free match = %v, want 1", got)
+	}
+
+	// Mutate one cysteine; exact matching loses the signature, the BLOSUM
+	// compatibility matrix retains partial credit.
+	mutated := append([]pattern.Symbol(nil), frag...)
+	mutated[at] = sym("S") // C→S is BLOSUM50's least-bad cysteine swap
+	if support.Occurs(sig, mutated) {
+		t.Fatal("mutated fragment should not match exactly")
+	}
+	bl, err := blosum.Compatibility(0.8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := match.Sequence(bl, sig, mutated); got <= 0 {
+		t.Fatalf("BLOSUM match of mutated fragment = %v, want > 0", got)
+	}
+
+	// The gap structure is position sensitive: shifting the second half by
+	// one residue must break even the noise-free match.
+	shifted := append([]pattern.Symbol(nil), frag...)
+	shifted[at+15], shifted[at+16] = shifted[at+16], shifted[at+15] // move first H
+	if support.Occurs(sig, shifted) {
+		t.Fatal("shifted histidine should break the signature")
+	}
+
+	// End to end: the signature is minable with a MaxGap that admits the
+	// 12-residue run.
+	db := seqdb.NewMemDB([][]pattern.Symbol{frag, frag, mutated})
+	vals, err := match.DB(db, match.NewMatch(ident), []pattern.Pattern{sig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] < 2.0/3-1e-9 {
+		t.Fatalf("database match %v, want 2/3", vals[0])
+	}
+}

@@ -1,0 +1,190 @@
+package maxminer
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/compat"
+	"repro/internal/miner"
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+)
+
+const (
+	d1 = pattern.Symbol(0)
+	d2 = pattern.Symbol(1)
+	d3 = pattern.Symbol(2)
+	d4 = pattern.Symbol(3)
+	d5 = pattern.Symbol(4)
+)
+
+func fig4DB() *seqdb.MemDB {
+	return seqdb.NewMemDB([][]pattern.Symbol{
+		{d1, d2, d3, d1},
+		{d4, d2, d1},
+		{d3, d4, d2, d1},
+		{d2, d2},
+	})
+}
+
+func setsEqual(t *testing.T, got, want *pattern.Set, label string) {
+	t.Helper()
+	for _, p := range want.Patterns() {
+		if !got.Contains(p) {
+			t.Errorf("%s: missing %v", label, p)
+		}
+	}
+	for _, p := range got.Patterns() {
+		if !want.Contains(p) {
+			t.Errorf("%s: extra %v", label, p)
+		}
+	}
+}
+
+func TestMineMatchesExhaustive(t *testing.T) {
+	c := compat.Fig2()
+	for _, minMatch := range []float64{0.02, 0.05, 0.1, 0.3} {
+		for _, opts := range []miner.Options{
+			{MaxLen: 3, MaxGap: 0},
+			{MaxLen: 3, MaxGap: 1},
+			{MaxLen: 4, MaxGap: 1},
+		} {
+			got, err := Mine(5, miner.MatchDBValuer(fig4DB(), c), minMatch, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := miner.Exhaustive(5, miner.MatchDBValuer(fig4DB(), c), minMatch, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			setsEqual(t, got.Frequent, want.Frequent, fmt.Sprintf("min=%v opts=%+v", minMatch, opts))
+			setsEqual(t, got.Border, pattern.Border(want.Frequent), "border")
+		}
+	}
+}
+
+func TestMineRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 10; trial++ {
+		m := 4 + rng.Intn(3)
+		alpha := rng.Float64() * 0.3
+		c, err := compat.UniformNoise(m, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs := make([][]pattern.Symbol, 12)
+		for i := range seqs {
+			s := make([]pattern.Symbol, 3+rng.Intn(8))
+			for j := range s {
+				s[j] = pattern.Symbol(rng.Intn(m))
+			}
+			seqs[i] = s
+		}
+		opts := miner.Options{MaxLen: 4, MaxGap: 1}
+		minMatch := 0.05 + rng.Float64()*0.2
+		got, err := Mine(m, miner.MatchDBValuer(seqdb.NewMemDB(seqs), c), minMatch, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := miner.Exhaustive(m, miner.MatchDBValuer(seqdb.NewMemDB(seqs), c), minMatch, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		setsEqual(t, got.Frequent, want.Frequent, fmt.Sprintf("trial %d", trial))
+	}
+}
+
+// motifDB embeds the contiguous motif d1..d6 in every sequence, padded with
+// a filler symbol; only the motif's symbols are frequent.
+func motifDB(n int) *seqdb.MemDB {
+	seqs := make([][]pattern.Symbol, n)
+	for i := range seqs {
+		s := []pattern.Symbol{6, 0, 1, 2, 3, 4, 5, 6}
+		seqs[i] = s
+	}
+	return seqdb.NewMemDB(seqs)
+}
+
+func TestLookaheadSavesScansOnLongMotifs(t *testing.T) {
+	c := compat.Identity(8)
+	opts := miner.Options{MaxLen: 6, MaxGap: 1}
+	got, err := Mine(8, miner.MatchDBValuer(motifDB(10), c), 0.9, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := miner.Exhaustive(8, miner.MatchDBValuer(motifDB(10), c), 0.9, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setsEqual(t, got.Frequent, want.Frequent, "motif")
+	if got.Scans >= want.Scans {
+		t.Errorf("lookahead gave no scan savings: maxminer=%d level-wise=%d", got.Scans, want.Scans)
+	}
+	if got.LookaheadHits == 0 {
+		t.Error("no candidates were covered by lookahead chains")
+	}
+	// The full motif must be the single border element.
+	motif := pattern.MustNew(0, 1, 2, 3, 4, 5)
+	if !got.Border.Contains(motif) {
+		t.Errorf("border %v missing the motif", got.Border.Patterns())
+	}
+}
+
+func TestMineCountsScansAgainstDB(t *testing.T) {
+	c := compat.Fig2()
+	db := fig4DB()
+	res, err := Mine(5, miner.MatchDBValuer(db, c), 0.05, miner.Options{MaxLen: 3, MaxGap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Scans() != res.Scans {
+		t.Errorf("db saw %d scans, result says %d", db.Scans(), res.Scans)
+	}
+	if res.Scans < 1 {
+		t.Error("at least the symbol scan must happen")
+	}
+	if res.Counted < 5 {
+		t.Errorf("Counted=%d", res.Counted)
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	v := miner.MatchDBValuer(fig4DB(), compat.Fig2())
+	if _, err := Mine(0, v, 0.1, miner.Options{MaxLen: 3}); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := Mine(5, v, 0.1, miner.Options{MaxLen: 0}); err == nil {
+		t.Error("MaxLen=0 accepted")
+	}
+	if _, err := Mine(5, v, 0.1, miner.Options{MaxLen: 3, MaxGap: -1}); err == nil {
+		t.Error("negative MaxGap accepted")
+	}
+	if _, err := Mine(5, nil, 0.1, miner.Options{MaxLen: 3}); err == nil {
+		t.Error("nil valuer accepted")
+	}
+}
+
+func TestNoFrequentSymbols(t *testing.T) {
+	c := compat.Fig2()
+	res, err := Mine(5, miner.MatchDBValuer(fig4DB(), c), 0.99, miner.Options{MaxLen: 3, MaxGap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frequent.Len() != 0 || res.Border.Len() != 0 {
+		t.Errorf("expected empty result, got %d frequent", res.Frequent.Len())
+	}
+	if res.Scans != 1 {
+		t.Errorf("Scans=%d, want 1 (symbol scan only)", res.Scans)
+	}
+}
+
+func TestGeneratingParent(t *testing.T) {
+	p := pattern.MustNew(d1, pattern.Eternal, d3)
+	if got := generatingParent(p); !got.Equal(pattern.MustNew(d1)) {
+		t.Errorf("parent=%v", got)
+	}
+	if got := generatingParent(pattern.MustNew(d2)); got != nil {
+		t.Errorf("1-pattern parent=%v, want nil", got)
+	}
+}

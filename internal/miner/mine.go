@@ -1,0 +1,104 @@
+package miner
+
+import (
+	"repro/internal/chernoff"
+	"repro/internal/compat"
+	"repro/internal/match"
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+)
+
+// SampleValuer evaluates candidates against an in-memory sample under an
+// arbitrary measure.
+func SampleValuer(meas match.Measure, sample [][]pattern.Symbol) Valuer {
+	return func(ps []pattern.Pattern) ([]float64, error) {
+		out := make([]float64, len(ps))
+		for i, p := range ps {
+			out[i] = match.Sample(meas, p, sample)
+		}
+		return out, nil
+	}
+}
+
+// MatchSampleValuer evaluates candidates against an in-memory sample under
+// the match measure using compiled matchers (the fast path for Phase 2).
+func MatchSampleValuer(c compat.Source, sample [][]pattern.Symbol) Valuer {
+	return func(ps []pattern.Pattern) ([]float64, error) {
+		set, err := match.CompileSet(c, ps)
+		if err != nil {
+			return nil, err
+		}
+		for _, seq := range sample {
+			set.Observe(seq)
+		}
+		return set.Matches(len(sample)), nil
+	}
+}
+
+// DBValuer evaluates candidates with one full database scan per call.
+func DBValuer(db seqdb.Scanner, meas match.Measure) Valuer {
+	return func(ps []pattern.Pattern) ([]float64, error) {
+		return match.DB(db, meas, ps)
+	}
+}
+
+// MatchDBValuer evaluates candidates with one full database scan per call
+// under the match measure using compiled matchers.
+func MatchDBValuer(db seqdb.Scanner, c compat.Source) Valuer {
+	return func(ps []pattern.Pattern) ([]float64, error) {
+		set, err := match.CompileSet(c, ps)
+		if err != nil {
+			return nil, err
+		}
+		err = db.Scan(func(id int, seq []pattern.Symbol) error {
+			set.Observe(seq)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return set.Matches(db.Len()), nil
+	}
+}
+
+// Exhaustive mines the complete set of patterns whose value meets minMatch,
+// using a deterministic binary classification (no sampling uncertainty).
+// With a DBValuer it consumes one scan per lattice level; with a sample or
+// in-memory valuer it is the ground-truth miner of the experiments.
+func Exhaustive(m int, valuer Valuer, minMatch float64, opts Options) (*Result, error) {
+	e := &Engine{
+		M:     m,
+		Opts:  opts,
+		Value: valuer,
+		Classify: func(_ pattern.Pattern, v, _ float64) chernoff.Label {
+			if v >= minMatch {
+				return chernoff.Frequent
+			}
+			return chernoff.Infrequent
+		},
+	}
+	return e.Run()
+}
+
+// SampleChernoff runs Phase 2: it classifies patterns as frequent, ambiguous
+// or infrequent from their sample matches using the Chernoff bound with the
+// restricted spread (Claims 4.1/4.2). symbolMatch must hold Phase 1's exact
+// full-database symbol matches. The returned Result's Ambiguous set is the
+// input to Phase 3.
+func SampleChernoff(m int, valuer Valuer, symbolMatch []float64, minMatch, delta float64, sampleSize int, opts Options) (*Result, error) {
+	cls, err := chernoff.NewClassifier(minMatch, delta, sampleSize)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		M:           m,
+		Opts:        opts,
+		Value:       valuer,
+		SymbolMatch: symbolMatch,
+		MinMatch:    minMatch,
+		Classify: func(_ pattern.Pattern, v, spread float64) chernoff.Label {
+			return cls.Classify(v, spread)
+		},
+	}
+	return e.Run()
+}

@@ -1,0 +1,95 @@
+package miner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/compat"
+	"repro/internal/match"
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+)
+
+// ParallelMatchDBValuer is MatchDBValuer with the per-scan counting work
+// spread across workers goroutines (0 = GOMAXPROCS). The scan remains a
+// single sequential pass — the paper's cost model — but each block of
+// sequences is matched against worker-private pattern partitions, so
+// counters are written without contention and results are deterministic.
+//
+// Use it for wide probe scans (many counters per pass); for small batches
+// the sequential valuer's lower constant wins.
+func ParallelMatchDBValuer(db seqdb.Scanner, c compat.Source, workers int) Valuer {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return func(ps []pattern.Pattern) ([]float64, error) {
+		if len(ps) == 0 {
+			if err := db.Scan(func(int, []pattern.Symbol) error { return nil }); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		w := workers
+		if w > len(ps) {
+			w = len(ps)
+		}
+		// Partition patterns into w contiguous chunks, one CompiledSet each.
+		sets := make([]*match.CompiledSet, w)
+		bounds := make([]int, w+1)
+		for i := 0; i < w; i++ {
+			bounds[i+1] = (len(ps) * (i + 1)) / w
+			set, err := match.CompileSet(c, ps[bounds[i]:bounds[i+1]])
+			if err != nil {
+				return nil, err
+			}
+			sets[i] = set
+		}
+
+		const blockSize = 256
+		block := make([][]pattern.Symbol, 0, blockSize)
+		var wg sync.WaitGroup
+		flush := func() {
+			if len(block) == 0 {
+				return
+			}
+			wg.Add(w)
+			for i := 0; i < w; i++ {
+				go func(set *match.CompiledSet) {
+					defer wg.Done()
+					for _, seq := range block {
+						set.Observe(seq)
+					}
+				}(sets[i])
+			}
+			wg.Wait()
+			block = block[:0]
+		}
+		err := db.Scan(func(id int, seq []pattern.Symbol) error {
+			// The scanner may reuse its buffer (DiskDB does), so block
+			// entries are copies.
+			cp := make([]pattern.Symbol, len(seq))
+			copy(cp, seq)
+			block = append(block, cp)
+			if len(block) == blockSize {
+				flush()
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		flush()
+
+		n := db.Len()
+		out := make([]float64, 0, len(ps))
+		for i := 0; i < w; i++ {
+			part := sets[i].Matches(n)
+			if len(part) != bounds[i+1]-bounds[i] {
+				return nil, fmt.Errorf("miner: worker %d returned %d values", i, len(part))
+			}
+			out = append(out, part...)
+		}
+		return out, nil
+	}
+}

@@ -1,0 +1,199 @@
+package miner
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/pattern"
+)
+
+// TopKResult reports a top-k mining run.
+type TopKResult struct {
+	// Patterns are the k highest-match patterns, descending by value (ties
+	// broken by Key for determinism).
+	Patterns []pattern.Pattern
+	// Values are the corresponding database matches.
+	Values []float64
+	// Scans is the number of Valuer invocations.
+	Scans int
+	// Evaluated counts patterns measured against the database.
+	Evaluated int
+}
+
+// TopK finds the k patterns with the highest database value, without a
+// threshold, by best-first search over the lattice: candidates are expanded
+// in descending order of their Apriori upper bound (a pattern's value never
+// exceeds its generating parent's), and search stops when the best
+// outstanding bound cannot beat the current k-th value. Candidates are
+// evaluated in batches of batch per scan (0 = a sensible default). The
+// valuer must compute exact values (the Apriori bound check rejects
+// undercounting measures).
+func TopK(m int, valuer Valuer, k int, batch int, opts Options) (*TopKResult, error) {
+	if err := opts.validate(m); err != nil {
+		return nil, err
+	}
+	if valuer == nil {
+		return nil, fmt.Errorf("miner: valuer is required")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("miner: k %d < 1", k)
+	}
+	if batch <= 0 {
+		batch = 4 * k
+		if batch < 64 {
+			batch = 64
+		}
+	}
+	res := &TopKResult{}
+
+	// Evaluate all symbols first.
+	level1 := make([]pattern.Pattern, 0, m)
+	for d := 0; d < m; d++ {
+		level1 = append(level1, pattern.Pattern{pattern.Symbol(d)})
+	}
+	values, err := valuer(level1)
+	if err != nil {
+		return nil, err
+	}
+	res.Scans++
+	res.Evaluated += len(level1)
+
+	top := &topkHeap{} // min-heap of the current best k
+	frontier := &boundHeap{}
+	valueOf := make(map[string]float64, m)
+	for i, p := range level1 {
+		valueOf[p.Key()] = values[i]
+		pushTop(top, scored{p, values[i]}, k)
+		heap.Push(frontier, scored{p, values[i]}) // bound = own value
+	}
+
+	kth := func() float64 {
+		if top.Len() < k {
+			return -1
+		}
+		return (*top)[0].value
+	}
+
+	seen := make(map[string]bool, m)
+	for frontier.Len() > 0 {
+		// Collect the next batch of candidates whose bounds can still beat
+		// the k-th value: expand the best-bounded parents.
+		var cands []pattern.Pattern
+		var bounds []float64
+		for frontier.Len() > 0 && len(cands) < batch {
+			parent := heap.Pop(frontier).(scored)
+			if parent.value <= kth() && top.Len() >= k {
+				frontier = &boundHeap{} // every remaining bound is lower
+				break
+			}
+			for gap := 0; gap <= opts.MaxGap; gap++ {
+				if parent.p.Len()+gap+1 > opts.MaxLen {
+					break
+				}
+				for d := 0; d < m; d++ {
+					q := pattern.Extend(parent.p, gap, pattern.Symbol(d))
+					key := q.Key()
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					cands = append(cands, q)
+					bounds = append(bounds, parent.value)
+				}
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		values, err := valuer(cands)
+		if err != nil {
+			return nil, err
+		}
+		res.Scans++
+		res.Evaluated += len(cands)
+		for i, q := range cands {
+			v := values[i]
+			if v > bounds[i]+1e-9 {
+				return nil, fmt.Errorf("miner: measure violated the Apriori bound at %v (%v > %v)", q, v, bounds[i])
+			}
+			valueOf[q.Key()] = v
+			pushTop(top, scored{q, v}, k)
+			if v > 0 && q.Len() < opts.MaxLen {
+				heap.Push(frontier, scored{q, v})
+			}
+		}
+	}
+
+	out := make([]scored, top.Len())
+	copy(out, *top)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].value != out[b].value {
+			return out[a].value > out[b].value
+		}
+		return out[a].p.Key() < out[b].p.Key()
+	})
+	for _, s := range out {
+		res.Patterns = append(res.Patterns, s.p)
+		res.Values = append(res.Values, s.value)
+	}
+	return res, nil
+}
+
+type scored struct {
+	p     pattern.Pattern
+	value float64
+}
+
+// topkHeap is a min-heap over values (root = current k-th best).
+type topkHeap []scored
+
+func (h topkHeap) Len() int      { return len(h) }
+func (h topkHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h topkHeap) Less(i, j int) bool {
+	if h[i].value != h[j].value {
+		return h[i].value < h[j].value
+	}
+	// Larger keys are "worse" so deterministic ties evict consistently.
+	return h[i].p.Key() > h[j].p.Key()
+}
+func (h *topkHeap) Push(x any) { *h = append(*h, x.(scored)) }
+func (h *topkHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func pushTop(top *topkHeap, s scored, k int) {
+	if top.Len() < k {
+		heap.Push(top, s)
+		return
+	}
+	worst := (*top)[0]
+	if s.value > worst.value || (s.value == worst.value && s.p.Key() < worst.p.Key()) {
+		heap.Pop(top)
+		heap.Push(top, s)
+	}
+}
+
+// boundHeap is a max-heap over bounds (root = most promising parent).
+type boundHeap []scored
+
+func (h boundHeap) Len() int      { return len(h) }
+func (h boundHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h boundHeap) Less(i, j int) bool {
+	if h[i].value != h[j].value {
+		return h[i].value > h[j].value
+	}
+	return h[i].p.Key() < h[j].p.Key()
+}
+func (h *boundHeap) Push(x any) { *h = append(*h, x.(scored)) }
+func (h *boundHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

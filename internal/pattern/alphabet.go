@@ -1,0 +1,137 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Alphabet maps between symbol names and Symbol values. It is immutable
+// after construction and safe for concurrent use.
+type Alphabet struct {
+	names []string
+	index map[string]Symbol
+}
+
+// NewAlphabet builds an alphabet from distinct, non-empty names. The name
+// "*" is reserved for the eternal symbol.
+func NewAlphabet(names []string) (*Alphabet, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("alphabet: empty")
+	}
+	a := &Alphabet{
+		names: make([]string, len(names)),
+		index: make(map[string]Symbol, len(names)),
+	}
+	for i, name := range names {
+		if name == "" {
+			return nil, fmt.Errorf("alphabet: name %d is empty", i)
+		}
+		if name == "*" {
+			return nil, fmt.Errorf("alphabet: name %q is reserved for the eternal symbol", name)
+		}
+		if _, dup := a.index[name]; dup {
+			return nil, fmt.Errorf("alphabet: duplicate name %q", name)
+		}
+		a.names[i] = name
+		a.index[name] = Symbol(i)
+	}
+	return a, nil
+}
+
+// GenericAlphabet returns the alphabet {d1, d2, ..., dm} used throughout the
+// paper's examples.
+func GenericAlphabet(m int) *Alphabet {
+	names := make([]string, m)
+	for i := range names {
+		names[i] = fmt.Sprintf("d%d", i+1)
+	}
+	a, err := NewAlphabet(names)
+	if err != nil {
+		panic(err) // unreachable: generated names are distinct and non-empty
+	}
+	return a
+}
+
+// Size returns the number of distinct symbols m.
+func (a *Alphabet) Size() int { return len(a.names) }
+
+// Name returns the name of s, or "*" for the eternal symbol.
+func (a *Alphabet) Name(s Symbol) string {
+	if s.IsEternal() {
+		return "*"
+	}
+	if int(s) >= len(a.names) {
+		return fmt.Sprintf("?%d", int32(s))
+	}
+	return a.names[s]
+}
+
+// Names returns a copy of the symbol names in symbol order.
+func (a *Alphabet) Names() []string {
+	out := make([]string, len(a.names))
+	copy(out, a.names)
+	return out
+}
+
+// Symbol resolves a name ("*" resolves to Eternal).
+func (a *Alphabet) Symbol(name string) (Symbol, error) {
+	if name == "*" {
+		return Eternal, nil
+	}
+	s, ok := a.index[name]
+	if !ok {
+		return 0, fmt.Errorf("alphabet: unknown symbol %q", name)
+	}
+	return s, nil
+}
+
+// Format renders a pattern with this alphabet's names, space separated.
+func (a *Alphabet) Format(p Pattern) string {
+	parts := make([]string, len(p))
+	for i, s := range p {
+		parts[i] = a.Name(s)
+	}
+	return strings.Join(parts, " ")
+}
+
+// FormatSeq renders a raw sequence with this alphabet's names.
+func (a *Alphabet) FormatSeq(seq []Symbol) string { return a.Format(Pattern(seq)) }
+
+// Parse builds a pattern from a whitespace-separated list of names, e.g.
+// "d1 * d3", and validates it.
+func (a *Alphabet) Parse(text string) (Pattern, error) {
+	fields := strings.Fields(text)
+	p := make(Pattern, 0, len(fields))
+	for _, f := range fields {
+		s, err := a.Symbol(f)
+		if err != nil {
+			return nil, err
+		}
+		p = append(p, s)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseSeq builds a raw sequence (no eternal symbols allowed) from a
+// whitespace-separated list of names.
+func (a *Alphabet) ParseSeq(text string) ([]Symbol, error) {
+	fields := strings.Fields(text)
+	seq := make([]Symbol, 0, len(fields))
+	for _, f := range fields {
+		s, err := a.Symbol(f)
+		if err != nil {
+			return nil, err
+		}
+		if s.IsEternal() {
+			return nil, fmt.Errorf("alphabet: sequence may not contain %q", f)
+		}
+		seq = append(seq, s)
+	}
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("alphabet: empty sequence")
+	}
+	return seq, nil
+}

@@ -1,0 +1,54 @@
+package pattern
+
+// Border computes the border of a downward-closed pattern collection: the
+// members none of whose proper superpatterns (within the collection) are also
+// members. For the set of frequent patterns this is the paper's border of
+// frequent patterns (§3); the FQT and INFQT borders of Phase 2 are computed
+// the same way over the frequent and ambiguous regions respectively.
+//
+// The input need not be downward closed; Border simply keeps every pattern
+// that is not a proper subpattern of another member.
+func Border(s *Set) *Set {
+	members := s.Patterns()
+	out := NewSet()
+	for i, p := range members {
+		maximal := true
+		for j, q := range members {
+			if i == j {
+				continue
+			}
+			if p.IsProperSubpatternOf(q) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out.Add(p)
+		}
+	}
+	return out
+}
+
+// Floor computes the minimal members of a collection: those that are not
+// proper superpatterns of any other member. For an upward-closed region
+// (e.g. the infrequent patterns) the floor is its lower border.
+func Floor(s *Set) *Set {
+	members := s.Patterns()
+	out := NewSet()
+	for i, p := range members {
+		minimal := true
+		for j, q := range members {
+			if i == j {
+				continue
+			}
+			if q.IsProperSubpatternOf(p) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out.Add(p)
+		}
+	}
+	return out
+}

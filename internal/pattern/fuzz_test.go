@@ -1,0 +1,28 @@
+package pattern
+
+import "testing"
+
+// FuzzParseKey checks that ParseKey never panics and that accepted keys
+// round-trip through Key.
+func FuzzParseKey(f *testing.F) {
+	f.Add("0,1,2")
+	f.Add("0,*,2")
+	f.Add("*")
+	f.Add("")
+	f.Add("12,*,*,3")
+	f.Add("-1,0")
+	f.Add("999999999999999999999")
+	f.Fuzz(func(t *testing.T, key string) {
+		p, err := ParseKey(key)
+		if err != nil {
+			return
+		}
+		back, err := ParseKey(p.Key())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", p.Key(), err)
+		}
+		if !back.Equal(p) {
+			t.Fatalf("round trip changed %q", key)
+		}
+	})
+}

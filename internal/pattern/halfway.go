@@ -1,0 +1,115 @@
+package pattern
+
+// Halfway implements Algorithm 4.4 of the paper for one pair of border
+// elements: given p1, a subpattern of p2, it returns the patterns with
+// ⌈(K(p1)+K(p2))/2⌉ non-eternal symbols that are superpatterns of p1 and
+// subpatterns of p2. These are the patterns with maximal collapsing power
+// between the two borders.
+//
+// The enumeration walks the subsets of p2's non-eternal positions; limit
+// (if > 0) caps the number of returned patterns to keep the worst-case
+// combinatorics bounded — the collapsing loop fills a memory budget anyway,
+// so a deterministic prefix of the layer is sufficient.
+func Halfway(p1, p2 Pattern, limit int) []Pattern {
+	return HalfwayFiltered(p1, p2, limit, nil)
+}
+
+// HalfwayFiltered is Halfway with an acceptance filter: only patterns for
+// which accept returns true are returned and counted toward limit, so a
+// caller probing an implicit region can skip already-resolved patterns
+// without them consuming the generation budget. A nil accept admits all.
+func HalfwayFiltered(p1, p2 Pattern, limit int, accept func(Pattern) bool) []Pattern {
+	if !p1.IsSubpatternOf(p2) {
+		return nil
+	}
+	k1, k2 := p1.K(), p2.K()
+	target := (k1 + k2 + 1) / 2
+	if target <= k1 || target >= k2 {
+		// Adjacent or equal levels: there is no strictly-between layer.
+		return nil
+	}
+	positions := make([]int, 0, k2)
+	for i, s := range p2 {
+		if !s.IsEternal() {
+			positions = append(positions, i)
+		}
+	}
+	seen := make(map[string]struct{})
+	var out []Pattern
+	chosen := make([]int, 0, target)
+	var rec func(start int)
+	rec = func(start int) {
+		if limit > 0 && len(out) >= limit {
+			return
+		}
+		if len(chosen) == target {
+			cand := make(Pattern, len(p2))
+			for i := range cand {
+				cand[i] = Eternal
+			}
+			for _, pos := range chosen {
+				cand[pos] = p2[pos]
+			}
+			trimmed := Trim(cand)
+			if trimmed == nil || trimmed.K() != target {
+				return
+			}
+			if !p1.IsSubpatternOf(trimmed) {
+				return
+			}
+			key := trimmed.Key()
+			if _, ok := seen[key]; ok {
+				return
+			}
+			seen[key] = struct{}{}
+			if accept != nil && !accept(trimmed) {
+				return
+			}
+			out = append(out, trimmed)
+			return
+		}
+		// Not enough remaining positions to reach the target size.
+		if len(positions)-start < target-len(chosen) {
+			return
+		}
+		for i := start; i < len(positions); i++ {
+			chosen = append(chosen, positions[i])
+			rec(i + 1)
+			chosen = chosen[:len(chosen)-1]
+			if limit > 0 && len(out) >= limit {
+				return
+			}
+		}
+	}
+	rec(0)
+	return out
+}
+
+// HalfwayLayer implements the layer computation of Algorithm 4.3: for every
+// pair (p1 ∈ lower, p2 ∈ upper) with p1 a subpattern of p2, the halfway
+// patterns are collected into one deduplicated layer. limit (if > 0) caps the
+// total number of patterns produced.
+func HalfwayLayer(lower, upper *Set, limit int) *Set {
+	return HalfwayLayerFiltered(lower, upper, limit, nil)
+}
+
+// HalfwayLayerFiltered is HalfwayLayer with an acceptance filter (see
+// HalfwayFiltered).
+func HalfwayLayerFiltered(lower, upper *Set, limit int, accept func(Pattern) bool) *Set {
+	layer := NewSet()
+	for _, p1 := range lower.Patterns() {
+		for _, p2 := range upper.Patterns() {
+			if limit > 0 && layer.Len() >= limit {
+				return layer
+			}
+			rem := 0
+			if limit > 0 {
+				rem = limit - layer.Len()
+			}
+			for _, h := range HalfwayFiltered(p1, p2, rem, accept) {
+				layer.Add(h)
+			}
+		}
+	}
+	return layer
+}

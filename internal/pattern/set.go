@@ -1,0 +1,156 @@
+package pattern
+
+import "sort"
+
+// Set is a collection of distinct patterns keyed by their canonical Key.
+// The zero value is not usable; construct with NewSet.
+type Set struct {
+	m map[string]Pattern
+}
+
+// NewSet builds a set holding the given patterns (duplicates collapse).
+func NewSet(ps ...Pattern) *Set {
+	s := &Set{m: make(map[string]Pattern, len(ps))}
+	for _, p := range ps {
+		s.Add(p)
+	}
+	return s
+}
+
+// Add inserts p; it reports whether p was newly added.
+func (s *Set) Add(p Pattern) bool {
+	k := p.Key()
+	if _, ok := s.m[k]; ok {
+		return false
+	}
+	s.m[k] = p
+	return true
+}
+
+// Remove deletes p; it reports whether p was present.
+func (s *Set) Remove(p Pattern) bool {
+	k := p.Key()
+	if _, ok := s.m[k]; !ok {
+		return false
+	}
+	delete(s.m, k)
+	return true
+}
+
+// Contains reports whether p is a member.
+func (s *Set) Contains(p Pattern) bool {
+	_, ok := s.m[p.Key()]
+	return ok
+}
+
+// Len returns the number of members.
+func (s *Set) Len() int { return len(s.m) }
+
+// ForEach visits every member in unspecified order; it exists for hot loops
+// (e.g. Apriori label propagation over large ambiguous regions) where the
+// key-sort of Patterns would dominate. The callback must not mutate the set;
+// it returns false to stop early.
+func (s *Set) ForEach(fn func(p Pattern) bool) {
+	for _, p := range s.m {
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+// Patterns returns the members in a deterministic (key-sorted) order.
+func (s *Set) Patterns() []Pattern {
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Pattern, len(keys))
+	for i, k := range keys {
+		out[i] = s.m[k]
+	}
+	return out
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{m: make(map[string]Pattern, len(s.m))}
+	for k, p := range s.m {
+		c.m[k] = p
+	}
+	return c
+}
+
+// Union adds every member of other to s.
+func (s *Set) Union(other *Set) {
+	for k, p := range other.m {
+		s.m[k] = p
+	}
+}
+
+// Intersect returns the members present in both sets.
+func (s *Set) Intersect(other *Set) *Set {
+	out := NewSet()
+	for k, p := range s.m {
+		if _, ok := other.m[k]; ok {
+			out.m[k] = p
+		}
+	}
+	return out
+}
+
+// Diff returns the members of s absent from other.
+func (s *Set) Diff(other *Set) *Set {
+	out := NewSet()
+	for k, p := range s.m {
+		if _, ok := other.m[k]; !ok {
+			out.m[k] = p
+		}
+	}
+	return out
+}
+
+// CoveredBy reports whether p is a subpattern of (or equal to) some member.
+// With a border set of frequent patterns this is the membership test for the
+// downward-closed frequent region (Apriori property, Claim 3.2).
+func (s *Set) CoveredBy(p Pattern) bool {
+	for _, q := range s.m {
+		if p.IsSubpatternOf(q) {
+			return true
+		}
+	}
+	return false
+}
+
+// Covers reports whether p is a superpattern of (or equal to) some member.
+func (s *Set) Covers(p Pattern) bool {
+	for _, q := range s.m {
+		if q.IsSubpatternOf(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxK returns the largest lattice level among members (0 for an empty set).
+func (s *Set) MaxK() int {
+	max := 0
+	for _, p := range s.m {
+		if k := p.K(); k > max {
+			max = k
+		}
+	}
+	return max
+}
+
+// MinK returns the smallest lattice level among members (0 for an empty set).
+func (s *Set) MinK() int {
+	min := 0
+	first := true
+	for _, p := range s.m {
+		if k := p.K(); first || k < min {
+			min, first = k, false
+		}
+	}
+	return min
+}

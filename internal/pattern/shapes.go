@@ -1,0 +1,96 @@
+package pattern
+
+// Shape describes the gap structure of a k-pattern: Gaps[i] is the number of
+// eternal symbols between concrete symbol i and i+1 (len(Gaps) == k-1). The
+// total pattern length is k + sum(Gaps).
+type Shape struct {
+	Gaps []int
+	Len  int // total pattern length
+}
+
+// Offsets returns the position of each concrete symbol within the pattern.
+func (s Shape) Offsets() []int {
+	k := len(s.Gaps) + 1
+	out := make([]int, k)
+	pos := 0
+	for i := 0; i < k; i++ {
+		out[i] = pos
+		if i < len(s.Gaps) {
+			pos += s.Gaps[i] + 1
+		}
+	}
+	return out
+}
+
+// Build assembles a pattern of this shape from k concrete symbols.
+func (s Shape) Build(syms []Symbol) Pattern {
+	p := make(Pattern, s.Len)
+	for i := range p {
+		p[i] = Eternal
+	}
+	for i, off := range s.Offsets() {
+		p[off] = syms[i]
+	}
+	return p
+}
+
+// ShapeKey renders the pattern of shape s holding the given concrete
+// symbols in Pattern.Key format, without materializing the pattern. It is
+// the hot-path key builder for the window-sweep miners.
+func ShapeKey(s Shape, syms []Symbol) string {
+	buf := make([]byte, 0, 4*s.Len)
+	for i, d := range syms {
+		if i > 0 {
+			for g := 0; g < s.Gaps[i-1]; g++ {
+				buf = append(buf, ',', '*')
+			}
+			buf = append(buf, ',')
+		}
+		buf = appendInt(buf, int32(d))
+	}
+	return string(buf)
+}
+
+func appendInt(buf []byte, v int32) []byte {
+	if v == 0 {
+		return append(buf, '0')
+	}
+	var tmp [11]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(buf, tmp[i:]...)
+}
+
+// Shapes enumerates every gap structure of a k-pattern with total length at
+// most maxLen and each internal gap at most maxGap, in a deterministic
+// order. k must be >= 1; k == 1 yields the single empty-gap shape.
+func Shapes(k, maxLen, maxGap int) []Shape {
+	if k < 1 || maxLen < k {
+		return nil
+	}
+	var out []Shape
+	gaps := make([]int, 0, k-1)
+	var rec func(remaining, length int)
+	rec = func(remaining, length int) {
+		if remaining == 0 {
+			cp := make([]int, len(gaps))
+			copy(cp, gaps)
+			out = append(out, Shape{Gaps: cp, Len: length})
+			return
+		}
+		for g := 0; g <= maxGap; g++ {
+			if length+g+1 > maxLen {
+				break
+			}
+			gaps = append(gaps, g)
+			rec(remaining-1, length+g+1)
+			gaps = gaps[:len(gaps)-1]
+		}
+	}
+	rec(k-1, 1)
+	return out
+}

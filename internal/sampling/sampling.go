@@ -1,0 +1,112 @@
+// Package sampling implements the random sampling used by Phase 1 of the
+// mining algorithm: the simple sequential method of Algorithm 4.1
+// (lines 12–16, after Vitter [27]) when the database size N is known, and
+// reservoir sampling when it is not. Both produce an exact simple random
+// sample of n sequences without replacement.
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pattern"
+)
+
+// Sequential draws a simple random sample of n sequences from a stream of
+// exactly N sequences: sequence i (0-based) is selected with probability
+// (n-j)/(N-i) where j sequences have been chosen so far. Offer must be
+// called exactly N times.
+type Sequential struct {
+	n, total int
+	seen     int
+	rng      *rand.Rand
+	samples  [][]pattern.Symbol
+}
+
+// NewSequential creates a sampler of n out of total sequences. n is clamped
+// to total. rng must be non-nil.
+func NewSequential(n, total int, rng *rand.Rand) (*Sequential, error) {
+	if total < 0 || n < 0 {
+		return nil, fmt.Errorf("sampling: negative size (n=%d, total=%d)", n, total)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("sampling: nil rng")
+	}
+	if n > total {
+		n = total
+	}
+	return &Sequential{n: n, total: total, rng: rng, samples: make([][]pattern.Symbol, 0, n)}, nil
+}
+
+// Offer presents the next sequence of the stream; the sampler copies it when
+// chosen and reports whether it was. Offering more than total sequences
+// panics: it indicates a stream/size mismatch that would skew the sample.
+func (s *Sequential) Offer(seq []pattern.Symbol) bool {
+	if s.seen >= s.total {
+		panic("sampling: more sequences offered than declared total")
+	}
+	remainingNeed := s.n - len(s.samples)
+	remainingSeqs := s.total - s.seen
+	s.seen++
+	if remainingNeed <= 0 {
+		return false
+	}
+	// Choose with probability (n-j)/(N-i).
+	if float64(remainingNeed) >= float64(remainingSeqs) || s.rng.Float64() < float64(remainingNeed)/float64(remainingSeqs) {
+		cp := make([]pattern.Symbol, len(seq))
+		copy(cp, seq)
+		s.samples = append(s.samples, cp)
+		return true
+	}
+	return false
+}
+
+// Samples returns the chosen sequences. After all total offers, exactly
+// min(n, total) sequences are present.
+func (s *Sequential) Samples() [][]pattern.Symbol { return s.samples }
+
+// Reservoir draws a uniform sample of up to n sequences from a stream of
+// unknown length (Vitter's Algorithm R).
+type Reservoir struct {
+	n       int
+	seen    int
+	rng     *rand.Rand
+	samples [][]pattern.Symbol
+}
+
+// NewReservoir creates a reservoir of capacity n. rng must be non-nil.
+func NewReservoir(n int, rng *rand.Rand) (*Reservoir, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sampling: negative capacity %d", n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("sampling: nil rng")
+	}
+	return &Reservoir{n: n, rng: rng, samples: make([][]pattern.Symbol, 0, n)}, nil
+}
+
+// Offer presents the next sequence; the reservoir copies it if retained at
+// this point (it may be displaced later).
+func (r *Reservoir) Offer(seq []pattern.Symbol) {
+	r.seen++
+	if r.n == 0 {
+		return
+	}
+	if len(r.samples) < r.n {
+		cp := make([]pattern.Symbol, len(seq))
+		copy(cp, seq)
+		r.samples = append(r.samples, cp)
+		return
+	}
+	if k := r.rng.Intn(r.seen); k < r.n {
+		cp := make([]pattern.Symbol, len(seq))
+		copy(cp, seq)
+		r.samples[k] = cp
+	}
+}
+
+// Samples returns the current reservoir contents.
+func (r *Reservoir) Samples() [][]pattern.Symbol { return r.samples }
+
+// Seen returns how many sequences were offered.
+func (r *Reservoir) Seen() int { return r.seen }

@@ -1,0 +1,163 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+func seqOf(v int) []pattern.Symbol { return []pattern.Symbol{pattern.Symbol(v)} }
+
+func TestSequentialExactSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ n, total int }{
+		{0, 10}, {1, 10}, {5, 10}, {10, 10}, {15, 10}, {100, 1000},
+	} {
+		s, err := NewSequential(tc.n, tc.total, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < tc.total; i++ {
+			s.Offer(seqOf(i))
+		}
+		want := tc.n
+		if want > tc.total {
+			want = tc.total
+		}
+		if got := len(s.Samples()); got != want {
+			t.Errorf("n=%d total=%d: sampled %d, want %d", tc.n, tc.total, got, want)
+		}
+	}
+}
+
+func TestSequentialErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewSequential(-1, 10, rng); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := NewSequential(1, -1, rng); err == nil {
+		t.Error("negative total accepted")
+	}
+	if _, err := NewSequential(1, 10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestSequentialOverOfferPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s, _ := NewSequential(1, 1, rng)
+	s.Offer(seqOf(0))
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on over-offer")
+		}
+	}()
+	s.Offer(seqOf(1))
+}
+
+func TestSequentialCopiesData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s, _ := NewSequential(1, 1, rng)
+	buf := []pattern.Symbol{7}
+	if !s.Offer(buf) {
+		t.Fatal("n==total must always choose")
+	}
+	buf[0] = 99
+	if s.Samples()[0][0] != 7 {
+		t.Error("sample aliases caller's buffer")
+	}
+}
+
+func TestSequentialUniformity(t *testing.T) {
+	// Each of 20 sequences should appear in a 5-sample with prob 1/4; over
+	// many trials the empirical inclusion rate must be close.
+	const total, n, trials = 20, 5, 4000
+	rng := rand.New(rand.NewSource(42))
+	counts := make([]int, total)
+	for trial := 0; trial < trials; trial++ {
+		s, _ := NewSequential(n, total, rng)
+		for i := 0; i < total; i++ {
+			if s.Offer(seqOf(i)) {
+				counts[i]++
+			}
+		}
+	}
+	want := float64(trials) * float64(n) / float64(total)
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.15 {
+			t.Errorf("sequence %d chosen %d times, want ≈%v", i, c, want)
+		}
+	}
+}
+
+func TestReservoirSizeAndUniformity(t *testing.T) {
+	const total, n, trials = 20, 5, 4000
+	rng := rand.New(rand.NewSource(43))
+	counts := make([]int, total)
+	for trial := 0; trial < trials; trial++ {
+		r, err := NewReservoir(n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < total; i++ {
+			r.Offer(seqOf(i))
+		}
+		if len(r.Samples()) != n {
+			t.Fatalf("reservoir holds %d, want %d", len(r.Samples()), n)
+		}
+		if r.Seen() != total {
+			t.Fatalf("Seen=%d", r.Seen())
+		}
+		for _, s := range r.Samples() {
+			counts[s[0]]++
+		}
+	}
+	want := float64(trials) * float64(n) / float64(total)
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.15 {
+			t.Errorf("sequence %d retained %d times, want ≈%v", i, c, want)
+		}
+	}
+}
+
+func TestReservoirSmallStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r, _ := NewReservoir(10, rng)
+	for i := 0; i < 3; i++ {
+		r.Offer(seqOf(i))
+	}
+	if len(r.Samples()) != 3 {
+		t.Errorf("got %d samples", len(r.Samples()))
+	}
+}
+
+func TestReservoirZeroCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r, _ := NewReservoir(0, rng)
+	r.Offer(seqOf(1))
+	if len(r.Samples()) != 0 {
+		t.Error("zero-capacity reservoir retained data")
+	}
+}
+
+func TestReservoirErrors(t *testing.T) {
+	if _, err := NewReservoir(-1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := NewReservoir(1, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestReservoirCopiesData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r, _ := NewReservoir(2, rng)
+	buf := []pattern.Symbol{5}
+	r.Offer(buf)
+	buf[0] = 9
+	if r.Samples()[0][0] != 5 {
+		t.Error("reservoir aliases caller's buffer")
+	}
+}

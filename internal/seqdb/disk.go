@@ -1,0 +1,206 @@
+package seqdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/pattern"
+)
+
+// Disk format: a fixed header followed by varint-encoded sequences.
+//
+//	magic   [4]byte  "LSQ1"
+//	n       uint64   number of sequences (little endian)
+//	per sequence: uvarint length, then length uvarint symbols
+//
+// Symbols are stored as their non-negative integer values; the eternal
+// symbol never appears in raw data.
+var diskMagic = [4]byte{'L', 'S', 'Q', '1'}
+
+// MaxSequenceLen bounds a single sequence's length when reading the disk
+// formats, so a corrupt length field cannot trigger an unbounded
+// allocation.
+const MaxSequenceLen = 1 << 24
+
+// Writer streams sequences into the on-disk format. Close patches the
+// sequence count into the header.
+type Writer struct {
+	f   *os.File
+	bw  *bufio.Writer
+	n   uint64
+	buf []byte
+}
+
+// CreateFile opens path for writing and emits the header.
+func CreateFile(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("seqdb: create: %w", err)
+	}
+	w := &Writer{f: f, bw: bufio.NewWriterSize(f, 1<<20), buf: make([]byte, binary.MaxVarintLen64)}
+	if _, err := w.bw.Write(diskMagic[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("seqdb: write header: %w", err)
+	}
+	var zero [8]byte
+	if _, err := w.bw.Write(zero[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("seqdb: write header: %w", err)
+	}
+	return w, nil
+}
+
+// Write appends one sequence.
+func (w *Writer) Write(seq []pattern.Symbol) error {
+	if len(seq) == 0 {
+		return fmt.Errorf("seqdb: empty sequence")
+	}
+	k := binary.PutUvarint(w.buf, uint64(len(seq)))
+	if _, err := w.bw.Write(w.buf[:k]); err != nil {
+		return fmt.Errorf("seqdb: write: %w", err)
+	}
+	for _, d := range seq {
+		if d.IsEternal() {
+			return fmt.Errorf("seqdb: sequence contains the eternal symbol")
+		}
+		k = binary.PutUvarint(w.buf, uint64(d))
+		if _, err := w.bw.Write(w.buf[:k]); err != nil {
+			return fmt.Errorf("seqdb: write: %w", err)
+		}
+	}
+	w.n++
+	return nil
+}
+
+// Close flushes, patches the sequence count, and closes the file.
+func (w *Writer) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("seqdb: flush: %w", err)
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], w.n)
+	if _, err := w.f.WriteAt(cnt[:], int64(len(diskMagic))); err != nil {
+		w.f.Close()
+		return fmt.Errorf("seqdb: patch count: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("seqdb: close: %w", err)
+	}
+	return nil
+}
+
+// DiskDB is a disk-resident sequence database. Every Scan streams the file
+// from the start with a buffered reader; nothing beyond the current sequence
+// is held in memory.
+type DiskDB struct {
+	path  string
+	n     int
+	scans int
+}
+
+// OpenFile validates the header of path and returns a DiskDB over it.
+func OpenFile(path string) (*DiskDB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("seqdb: open: %w", err)
+	}
+	defer f.Close()
+	var hdr [12]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("seqdb: read header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != diskMagic {
+		return nil, fmt.Errorf("seqdb: %s: bad magic %q", path, hdr[:4])
+	}
+	n := binary.LittleEndian.Uint64(hdr[4:])
+	return &DiskDB{path: path, n: int(n)}, nil
+}
+
+// Len returns the number of sequences.
+func (db *DiskDB) Len() int { return db.n }
+
+// Scans returns the number of completed full passes.
+func (db *DiskDB) Scans() int { return db.scans }
+
+// ResetScans zeroes the pass counter.
+func (db *DiskDB) ResetScans() { db.scans = 0 }
+
+// Path returns the backing file path.
+func (db *DiskDB) Path() string { return db.path }
+
+// Scan implements Scanner by streaming the file.
+func (db *DiskDB) Scan(fn func(id int, seq []pattern.Symbol) error) error {
+	f, err := os.Open(db.path)
+	if err != nil {
+		return fmt.Errorf("seqdb: open: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	if _, err := br.Discard(12); err != nil {
+		return fmt.Errorf("seqdb: skip header: %w", err)
+	}
+	var seq []pattern.Symbol
+	for i := 0; i < db.n; i++ {
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("seqdb: sequence %d length: %w", i, err)
+		}
+		if l == 0 || l > MaxSequenceLen {
+			return fmt.Errorf("seqdb: sequence %d has invalid length %d", i, l)
+		}
+		if cap(seq) < int(l) {
+			seq = make([]pattern.Symbol, l)
+		}
+		seq = seq[:l]
+		for j := range seq {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fmt.Errorf("seqdb: sequence %d symbol %d: %w", i, j, err)
+			}
+			seq[j] = pattern.Symbol(v)
+		}
+		if err := fn(i, seq); err != nil {
+			return err
+		}
+	}
+	db.scans++
+	return nil
+}
+
+// WriteFile persists an in-memory database to path in the disk format.
+func WriteFile(path string, db *MemDB) error {
+	w, err := CreateFile(path)
+	if err != nil {
+		return err
+	}
+	for _, seq := range db.seqs { // direct iteration: persisting is not a mining scan
+		if err := w.Write(seq); err != nil {
+			w.f.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// LoadFile reads an on-disk database fully into memory.
+func LoadFile(path string) (*MemDB, error) {
+	disk, err := OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	mem := &MemDB{seqs: make([][]pattern.Symbol, 0, disk.Len())}
+	err = disk.Scan(func(id int, seq []pattern.Symbol) error {
+		cp := make([]pattern.Symbol, len(seq))
+		copy(cp, seq)
+		mem.seqs = append(mem.seqs, cp)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mem, nil
+}

@@ -1,0 +1,42 @@
+package seqdb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+// FuzzDiskScan checks that scanning arbitrary bytes as a database file never
+// panics: it either errors cleanly or yields well-formed sequences.
+func FuzzDiskScan(f *testing.F) {
+	dir := f.TempDir()
+	good := filepath.Join(dir, "seed.lsq")
+	if err := WriteFile(good, NewMemDB([][]pattern.Symbol{{0, 1, 2}, {3}})); err != nil {
+		f.Fatal(err)
+	}
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add([]byte("LSQ1garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.lsq")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		db, err := OpenAuto(path)
+		if err != nil {
+			return
+		}
+		_ = db.Scan(func(id int, seq []pattern.Symbol) error {
+			if len(seq) == 0 {
+				t.Fatal("scanner produced an empty sequence")
+			}
+			return nil
+		})
+	})
+}

@@ -1,0 +1,217 @@
+package seqdb
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/pattern"
+)
+
+// Compressed disk format: the same varint body as the plain format, wrapped
+// in gzip, with its own magic so OpenAuto can dispatch.
+//
+//	magic  [4]byte "LSQZ"
+//	n      uint64  number of sequences (little endian, uncompressed header)
+//	body   gzip(varint sequences)
+var gzipMagic = [4]byte{'L', 'S', 'Q', 'Z'}
+
+// GzipWriter streams sequences into the compressed on-disk format.
+type GzipWriter struct {
+	f   *os.File
+	zw  *gzip.Writer
+	bw  *bufio.Writer
+	n   uint64
+	buf []byte
+}
+
+// CreateGzipFile opens path for writing in the compressed format.
+func CreateGzipFile(path string) (*GzipWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("seqdb: create: %w", err)
+	}
+	if _, err := f.Write(gzipMagic[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("seqdb: write header: %w", err)
+	}
+	var zero [8]byte
+	if _, err := f.Write(zero[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("seqdb: write header: %w", err)
+	}
+	zw := gzip.NewWriter(f)
+	return &GzipWriter{
+		f:   f,
+		zw:  zw,
+		bw:  bufio.NewWriterSize(zw, 1<<20),
+		buf: make([]byte, binary.MaxVarintLen64),
+	}, nil
+}
+
+// Write appends one sequence.
+func (w *GzipWriter) Write(seq []pattern.Symbol) error {
+	if len(seq) == 0 {
+		return fmt.Errorf("seqdb: empty sequence")
+	}
+	k := binary.PutUvarint(w.buf, uint64(len(seq)))
+	if _, err := w.bw.Write(w.buf[:k]); err != nil {
+		return fmt.Errorf("seqdb: write: %w", err)
+	}
+	for _, d := range seq {
+		if d.IsEternal() {
+			return fmt.Errorf("seqdb: sequence contains the eternal symbol")
+		}
+		k = binary.PutUvarint(w.buf, uint64(d))
+		if _, err := w.bw.Write(w.buf[:k]); err != nil {
+			return fmt.Errorf("seqdb: write: %w", err)
+		}
+	}
+	w.n++
+	return nil
+}
+
+// Close flushes the compressor, patches the sequence count, and closes.
+func (w *GzipWriter) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("seqdb: flush: %w", err)
+	}
+	if err := w.zw.Close(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("seqdb: gzip close: %w", err)
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], w.n)
+	if _, err := w.f.WriteAt(cnt[:], int64(len(gzipMagic))); err != nil {
+		w.f.Close()
+		return fmt.Errorf("seqdb: patch count: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("seqdb: close: %w", err)
+	}
+	return nil
+}
+
+// GzipDB is a gzip-compressed disk-resident database; every Scan streams
+// and decompresses the file from the start.
+type GzipDB struct {
+	path  string
+	n     int
+	scans int
+}
+
+// OpenGzipFile validates the header of a compressed database.
+func OpenGzipFile(path string) (*GzipDB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("seqdb: open: %w", err)
+	}
+	defer f.Close()
+	var hdr [12]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("seqdb: read header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != gzipMagic {
+		return nil, fmt.Errorf("seqdb: %s: bad magic %q", path, hdr[:4])
+	}
+	n := binary.LittleEndian.Uint64(hdr[4:])
+	return &GzipDB{path: path, n: int(n)}, nil
+}
+
+// Len returns the number of sequences.
+func (db *GzipDB) Len() int { return db.n }
+
+// Scans returns the number of completed full passes.
+func (db *GzipDB) Scans() int { return db.scans }
+
+// ResetScans zeroes the pass counter.
+func (db *GzipDB) ResetScans() { db.scans = 0 }
+
+// Path returns the backing file path.
+func (db *GzipDB) Path() string { return db.path }
+
+// Scan implements Scanner.
+func (db *GzipDB) Scan(fn func(id int, seq []pattern.Symbol) error) error {
+	f, err := os.Open(db.path)
+	if err != nil {
+		return fmt.Errorf("seqdb: open: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(12, io.SeekStart); err != nil {
+		return fmt.Errorf("seqdb: skip header: %w", err)
+	}
+	zr, err := gzip.NewReader(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return fmt.Errorf("seqdb: gzip: %w", err)
+	}
+	defer zr.Close()
+	br := bufio.NewReaderSize(zr, 1<<20)
+	var seq []pattern.Symbol
+	for i := 0; i < db.n; i++ {
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("seqdb: sequence %d length: %w", i, err)
+		}
+		if l == 0 || l > MaxSequenceLen {
+			return fmt.Errorf("seqdb: sequence %d has invalid length %d", i, l)
+		}
+		if cap(seq) < int(l) {
+			seq = make([]pattern.Symbol, l)
+		}
+		seq = seq[:l]
+		for j := range seq {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fmt.Errorf("seqdb: sequence %d symbol %d: %w", i, j, err)
+			}
+			seq[j] = pattern.Symbol(v)
+		}
+		if err := fn(i, seq); err != nil {
+			return err
+		}
+	}
+	db.scans++
+	return nil
+}
+
+// WriteGzipFile persists an in-memory database in the compressed format.
+func WriteGzipFile(path string, db *MemDB) error {
+	w, err := CreateGzipFile(path)
+	if err != nil {
+		return err
+	}
+	for _, seq := range db.seqs {
+		if err := w.Write(seq); err != nil {
+			w.f.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// OpenAuto opens a database file of either on-disk format, dispatching on
+// the magic bytes.
+func OpenAuto(path string) (Scanner, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("seqdb: open: %w", err)
+	}
+	var magic [4]byte
+	_, err = io.ReadFull(f, magic[:])
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("seqdb: read magic: %w", err)
+	}
+	switch magic {
+	case diskMagic:
+		return OpenFile(path)
+	case gzipMagic:
+		return OpenGzipFile(path)
+	default:
+		return nil, fmt.Errorf("seqdb: %s: unknown format %q", path, magic)
+	}
+}

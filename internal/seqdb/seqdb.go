@@ -1,0 +1,134 @@
+// Package seqdb provides the sequence-database substrate for the miner: an
+// in-memory store and a disk-resident store behind a common Scanner
+// interface that counts full passes over the data.
+//
+// The paper assumes the database is disk resident and far beyond memory
+// capacity; the quantity its evaluation reports (Figures 14 and 15) is the
+// number of full scans each algorithm performs. The Scanner interface makes
+// that number observable regardless of the backing store, so the experiments
+// reproduce the paper's scan counts even at a reduced data scale.
+package seqdb
+
+import (
+	"fmt"
+
+	"repro/internal/pattern"
+)
+
+// Scanner is one sequentially-scannable sequence database. Implementations
+// are not safe for concurrent scans.
+type Scanner interface {
+	// Scan performs one full pass, invoking fn for every sequence in order.
+	// The seq slice is only valid during the callback. A non-nil error from
+	// fn aborts the pass (and the pass does not count as a full scan).
+	Scan(fn func(id int, seq []pattern.Symbol) error) error
+	// Len returns the number of sequences N.
+	Len() int
+	// Scans returns the number of completed full passes so far.
+	Scans() int
+	// ResetScans zeroes the pass counter.
+	ResetScans()
+}
+
+// MemDB is an in-memory sequence database. The zero value is an empty,
+// usable database.
+type MemDB struct {
+	seqs  [][]pattern.Symbol
+	scans int
+}
+
+// NewMemDB builds an in-memory database over the given sequences. Sequence
+// IDs are their indices. The slices are retained, not copied.
+func NewMemDB(seqs [][]pattern.Symbol) *MemDB {
+	return &MemDB{seqs: seqs}
+}
+
+// Append adds one sequence and returns its ID.
+func (db *MemDB) Append(seq []pattern.Symbol) int {
+	db.seqs = append(db.seqs, seq)
+	return len(db.seqs) - 1
+}
+
+// Len returns the number of sequences.
+func (db *MemDB) Len() int { return len(db.seqs) }
+
+// Scans returns the number of completed full passes.
+func (db *MemDB) Scans() int { return db.scans }
+
+// ResetScans zeroes the pass counter.
+func (db *MemDB) ResetScans() { db.scans = 0 }
+
+// Seq returns the i-th sequence (shared storage; callers must not modify).
+func (db *MemDB) Seq(i int) []pattern.Symbol { return db.seqs[i] }
+
+// Scan implements Scanner.
+func (db *MemDB) Scan(fn func(id int, seq []pattern.Symbol) error) error {
+	for i, s := range db.seqs {
+		if err := fn(i, s); err != nil {
+			return err
+		}
+	}
+	db.scans++
+	return nil
+}
+
+// Validate checks that every sequence is non-empty and uses only concrete
+// symbols below m (pass m <= 0 to skip the upper-bound check).
+func (db *MemDB) Validate(m int) error {
+	for i, s := range db.seqs {
+		if len(s) == 0 {
+			return fmt.Errorf("seqdb: sequence %d is empty", i)
+		}
+		for j, d := range s {
+			if d.IsEternal() {
+				return fmt.Errorf("seqdb: sequence %d position %d holds the eternal symbol", i, j)
+			}
+			if m > 0 && int(d) >= m {
+				return fmt.Errorf("seqdb: sequence %d position %d holds symbol %d >= m=%d", i, j, d, m)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a database scan: sequence count, total and average
+// symbol counts, and the min/max sequence length.
+type Stats struct {
+	N         int
+	Symbols   int
+	AvgLen    float64
+	MinLen    int
+	MaxLen    int
+	MaxSymbol pattern.Symbol
+}
+
+// Describe computes Stats in one pass (which counts as a scan).
+func Describe(db Scanner) (Stats, error) {
+	st := Stats{MinLen: -1, MaxSymbol: -1}
+	err := db.Scan(func(id int, seq []pattern.Symbol) error {
+		st.N++
+		st.Symbols += len(seq)
+		if st.MinLen < 0 || len(seq) < st.MinLen {
+			st.MinLen = len(seq)
+		}
+		if len(seq) > st.MaxLen {
+			st.MaxLen = len(seq)
+		}
+		for _, d := range seq {
+			if d > st.MaxSymbol {
+				st.MaxSymbol = d
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	if st.N > 0 {
+		st.AvgLen = float64(st.Symbols) / float64(st.N)
+	}
+	if st.MinLen < 0 {
+		st.MinLen = 0
+	}
+	return st, nil
+}

@@ -1,0 +1,334 @@
+package seqdb
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pattern"
+)
+
+func sampleDB() *MemDB {
+	// Figure 4(a)'s four sequences over d1..d5 (0-based symbols).
+	return NewMemDB([][]pattern.Symbol{
+		{0, 1, 2, 0},
+		{3, 1, 0},
+		{2, 3, 1, 0},
+		{1, 1},
+	})
+}
+
+func TestMemDBScanOrderAndCount(t *testing.T) {
+	db := sampleDB()
+	var ids []int
+	var lens []int
+	err := db.Scan(func(id int, seq []pattern.Symbol) error {
+		ids = append(ids, id)
+		lens = append(lens, len(seq))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Scans() != 1 {
+		t.Errorf("Scans=%d, want 1", db.Scans())
+	}
+	for i, id := range ids {
+		if id != i {
+			t.Errorf("id[%d]=%d", i, id)
+		}
+	}
+	wantLens := []int{4, 3, 4, 2}
+	for i := range wantLens {
+		if lens[i] != wantLens[i] {
+			t.Errorf("len[%d]=%d, want %d", i, lens[i], wantLens[i])
+		}
+	}
+	db.ResetScans()
+	if db.Scans() != 0 {
+		t.Error("ResetScans failed")
+	}
+}
+
+func TestMemDBAbortedScanDoesNotCount(t *testing.T) {
+	db := sampleDB()
+	boom := errors.New("boom")
+	err := db.Scan(func(id int, seq []pattern.Symbol) error {
+		if id == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v", err)
+	}
+	if db.Scans() != 0 {
+		t.Errorf("aborted pass counted: Scans=%d", db.Scans())
+	}
+}
+
+func TestMemDBValidate(t *testing.T) {
+	if err := sampleDB().Validate(5); err != nil {
+		t.Errorf("valid db rejected: %v", err)
+	}
+	if err := sampleDB().Validate(3); err == nil {
+		t.Error("symbol >= m accepted")
+	}
+	bad := NewMemDB([][]pattern.Symbol{{}})
+	if err := bad.Validate(5); err == nil {
+		t.Error("empty sequence accepted")
+	}
+	eternal := NewMemDB([][]pattern.Symbol{{0, pattern.Eternal}})
+	if err := eternal.Validate(5); err == nil {
+		t.Error("eternal symbol in data accepted")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	db := sampleDB()
+	st, err := Describe(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 4 || st.Symbols != 13 || st.MinLen != 2 || st.MaxLen != 4 {
+		t.Errorf("Stats=%+v", st)
+	}
+	if st.AvgLen != 13.0/4.0 {
+		t.Errorf("AvgLen=%v", st.AvgLen)
+	}
+	if st.MaxSymbol != 3 {
+		t.Errorf("MaxSymbol=%v", st.MaxSymbol)
+	}
+	if db.Scans() != 1 {
+		t.Error("Describe should consume one scan")
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.lsq")
+	orig := sampleDB()
+	if err := WriteFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	if orig.Scans() != 0 {
+		t.Errorf("WriteFile consumed %d scans of the source", orig.Scans())
+	}
+
+	disk, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disk.Len() != 4 {
+		t.Fatalf("Len=%d", disk.Len())
+	}
+	if disk.Path() != path {
+		t.Errorf("Path=%q", disk.Path())
+	}
+
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("loaded %d sequences", back.Len())
+	}
+	for i := 0; i < orig.Len(); i++ {
+		a, b := orig.Seq(i), back.Seq(i)
+		if len(a) != len(b) {
+			t.Fatalf("seq %d length mismatch", i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("seq %d pos %d: %v != %v", i, j, a[j], b[j])
+			}
+		}
+	}
+	if disk.Scans() != 0 { // LoadFile uses its own handle, not ours
+		t.Errorf("disk Scans=%d, want 0", disk.Scans())
+	}
+}
+
+func TestDiskScanCountsPasses(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.lsq")
+	if err := WriteFile(path, sampleDB()); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 1; pass <= 3; pass++ {
+		if err := db.Scan(func(int, []pattern.Symbol) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if db.Scans() != pass {
+			t.Fatalf("after pass %d: Scans=%d", pass, db.Scans())
+		}
+	}
+	boom := errors.New("stop")
+	err = db.Scan(func(id int, _ []pattern.Symbol) error {
+		if id == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v", err)
+	}
+	if db.Scans() != 3 {
+		t.Error("aborted disk pass counted")
+	}
+}
+
+func TestWriterRejectsBadSequences(t *testing.T) {
+	dir := t.TempDir()
+	w, err := CreateFile(filepath.Join(dir, "x.lsq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(nil); err == nil {
+		t.Error("empty sequence accepted")
+	}
+	if err := w.Write([]pattern.Symbol{0, pattern.Eternal}); err == nil {
+		t.Error("eternal symbol accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenFile(filepath.Join(dir, "missing.lsq")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.lsq")
+	if err := os.WriteFile(bad, []byte("NOPE_not_a_db"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	short := filepath.Join(dir, "short.lsq")
+	if err := os.WriteFile(short, []byte("LS"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(short); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestDiskScanTruncatedBody(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.lsq")
+	if err := WriteFile(path, sampleDB()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Scan(func(int, []pattern.Symbol) error { return nil }); err == nil {
+		t.Error("truncated body scanned without error")
+	}
+}
+
+func TestReadWriteText(t *testing.T) {
+	a := pattern.GenericAlphabet(5)
+	in := "# comment\n d1 d2 d3 d1 \n\nd4 d2 d1\n"
+	db, err := ReadText(strings.NewReader(in), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len=%d", db.Len())
+	}
+	if db.Seq(0)[2] != 2 {
+		t.Errorf("seq 0: %v", db.Seq(0))
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, db, a); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "d1 d2 d3 d1\nd4 d2 d1\n" {
+		t.Errorf("WriteText: %q", got)
+	}
+	if _, err := ReadText(strings.NewReader("d1 zz"), a); err == nil {
+		t.Error("unknown symbol accepted")
+	}
+}
+
+func TestReadFASTA(t *testing.T) {
+	a, err := pattern.NewAlphabet([]string{"A", "C", "G", "T"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ">seq1 description\nACGT\nACG\n>seq2\nTT\n"
+	db, err := ReadFASTA(strings.NewReader(in), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len=%d", db.Len())
+	}
+	if len(db.Seq(0)) != 7 || len(db.Seq(1)) != 2 {
+		t.Errorf("lengths: %d, %d", len(db.Seq(0)), len(db.Seq(1)))
+	}
+	if _, err := ReadFASTA(strings.NewReader(">x\nAXA\n"), a); err == nil {
+		t.Error("unknown residue accepted")
+	}
+}
+
+func TestQuickDiskRoundTripRandom(t *testing.T) {
+	dir := t.TempDir()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		seqs := make([][]pattern.Symbol, n)
+		for i := range seqs {
+			l := 1 + r.Intn(50)
+			s := make([]pattern.Symbol, l)
+			for j := range s {
+				s[j] = pattern.Symbol(r.Intn(1 << r.Intn(14))) // exercise varint widths
+			}
+			seqs[i] = s
+		}
+		path := filepath.Join(dir, "q.lsq")
+		if err := WriteFile(path, NewMemDB(seqs)); err != nil {
+			return false
+		}
+		back, err := LoadFile(path)
+		if err != nil || back.Len() != n {
+			return false
+		}
+		for i := range seqs {
+			got := back.Seq(i)
+			if len(got) != len(seqs[i]) {
+				return false
+			}
+			for j := range got {
+				if got[j] != seqs[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package seqdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/pattern"
+)
+
+// ReadText parses one sequence per line, each a whitespace-separated list of
+// symbol names resolved against the alphabet. Blank lines and lines starting
+// with '#' are skipped.
+func ReadText(r io.Reader, a *pattern.Alphabet) (*MemDB, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	db := &MemDB{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		seq, err := a.ParseSeq(line)
+		if err != nil {
+			return nil, fmt.Errorf("seqdb: line %d: %w", lineNo, err)
+		}
+		db.Append(seq)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seqdb: read: %w", err)
+	}
+	return db, nil
+}
+
+// WriteText renders the database one sequence per line using the alphabet.
+func WriteText(w io.Writer, db *MemDB, a *pattern.Alphabet) error {
+	bw := bufio.NewWriter(w)
+	for _, seq := range db.seqs {
+		if _, err := fmt.Fprintln(bw, a.FormatSeq(seq)); err != nil {
+			return fmt.Errorf("seqdb: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFASTA parses FASTA-formatted records, mapping each residue letter to a
+// symbol via the alphabet (single-character names). Header lines start with
+// '>'; sequence data may span multiple lines. Unknown residues are an error.
+func ReadFASTA(r io.Reader, a *pattern.Alphabet) (*MemDB, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	db := &MemDB{}
+	var cur []pattern.Symbol
+	flush := func() {
+		if len(cur) > 0 {
+			db.Append(cur)
+			cur = nil
+		}
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ">") {
+			flush()
+			continue
+		}
+		for _, r := range line {
+			s, err := a.Symbol(string(r))
+			if err != nil {
+				return nil, fmt.Errorf("seqdb: line %d: %w", lineNo, err)
+			}
+			cur = append(cur, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seqdb: read: %w", err)
+	}
+	flush()
+	return db, nil
+}

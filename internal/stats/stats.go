@@ -1,0 +1,180 @@
+// Package stats provides the small numeric and formatting helpers used by
+// the experiment drivers: histograms (Figure 13's missing-pattern
+// distribution), means, and aligned text tables for experiment output.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+)
+
+// Histogram counts values into half-open buckets [edge[i], edge[i+1]), with
+// an implicit overflow bucket for values at or beyond the last edge and an
+// underflow bucket for values below the first.
+type Histogram struct {
+	edges  []float64
+	counts []int
+	under  int
+	total  int
+}
+
+// NewHistogram builds a histogram over strictly increasing edges.
+func NewHistogram(edges ...float64) (*Histogram, error) {
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("stats: need at least 2 edges")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("stats: edges not increasing at %d", i)
+		}
+	}
+	return &Histogram{edges: edges, counts: make([]int, len(edges))}, nil
+}
+
+// Add counts one value.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	if v < h.edges[0] {
+		h.under++
+		return
+	}
+	for i := 1; i < len(h.edges); i++ {
+		if v < h.edges[i] {
+			h.counts[i-1]++
+			return
+		}
+	}
+	h.counts[len(h.counts)-1]++ // overflow bucket
+}
+
+// Counts returns the per-bucket counts; the last entry is the overflow
+// bucket (values >= the final edge).
+func (h *Histogram) Counts() []int {
+	out := make([]int, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Underflow returns the count of values below the first edge.
+func (h *Histogram) Underflow() int { return h.under }
+
+// Total returns the number of added values.
+func (h *Histogram) Total() int { return h.total }
+
+// Fractions returns per-bucket fractions of the total (zeros when empty).
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// BucketLabel renders bucket i as "[lo,hi)" (the last as "[lo,∞)").
+func (h *Histogram) BucketLabel(i int) string {
+	if i == len(h.counts)-1 {
+		return fmt.Sprintf("[%g,inf)", h.edges[i])
+	}
+	return fmt.Sprintf("[%g,%g)", h.edges[i], h.edges[i+1])
+}
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive xs (0 if any is <= 0 or the
+// slice is empty).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Table renders aligned experiment tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(t.header) > 0 {
+		if _, err := fmt.Fprintln(tw, strings.Join(t.header, "\t")); err != nil {
+			return err
+		}
+		dashes := make([]string, len(t.header))
+		for i, h := range t.header {
+			dashes[i] = strings.Repeat("-", len(h))
+		}
+		if _, err := fmt.Fprintln(tw, strings.Join(dashes, "\t")); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(tw, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		return fmt.Sprintf("stats: table render failed: %v", err)
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 0.05, 0.10, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.01, 0.02, 0.07, 0.12, 0.2, -0.5} {
+		h.Add(v)
+	}
+	counts := h.Counts()
+	// [0,.05): 0.01,0.02; [.05,.1): 0.07; [.1,.15): 0.12; overflow: 0.2.
+	want := []int{2, 1, 1, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, counts[i], want[i], counts)
+		}
+	}
+	if h.Underflow() != 1 {
+		t.Errorf("Underflow=%d", h.Underflow())
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total=%d", h.Total())
+	}
+	fr := h.Fractions()
+	if math.Abs(fr[0]-2.0/6.0) > 1e-12 {
+		t.Errorf("Fractions=%v", fr)
+	}
+	if h.Buckets() != 4 {
+		t.Errorf("Buckets=%d", h.Buckets())
+	}
+	if h.BucketLabel(0) != "[0,0.05)" {
+		t.Errorf("label %q", h.BucketLabel(0))
+	}
+	if !strings.Contains(h.BucketLabel(3), "inf") {
+		t.Errorf("last label %q", h.BucketLabel(3))
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(1); err == nil {
+		t.Error("single edge accepted")
+	}
+	if _, err := NewHistogram(1, 1); err == nil {
+		t.Error("non-increasing edges accepted")
+	}
+}
+
+func TestHistogramEmptyFractions(t *testing.T) {
+	h, _ := NewHistogram(0, 1)
+	for _, f := range h.Fractions() {
+		if f != 0 {
+			t.Error("empty histogram fractions should be zero")
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean=%v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+	if GeoMean([]float64{1, 0, 4}) != 0 {
+		t.Error("non-positive geomean")
+	}
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean=%v", got)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tbl := NewTable("alpha", "accuracy")
+	tbl.AddRow(0.1, 0.987654)
+	tbl.AddRow(0.2, 1.0)
+	tbl.AddRow("x", 3)
+	out := tbl.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "0.9877") {
+		t.Errorf("table output:\n%s", out)
+	}
+	if !strings.Contains(out, "1\n") && !strings.Contains(out, "1  ") {
+		t.Errorf("integral float not compacted:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + dashes + 3 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}

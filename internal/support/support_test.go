@@ -1,0 +1,151 @@
+package support
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/compat"
+	"repro/internal/match"
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+)
+
+const (
+	d1 = pattern.Symbol(0)
+	d2 = pattern.Symbol(1)
+	d3 = pattern.Symbol(2)
+	d4 = pattern.Symbol(3)
+	d5 = pattern.Symbol(4)
+	et = pattern.Eternal
+)
+
+func fig4DB() *seqdb.MemDB {
+	return seqdb.NewMemDB([][]pattern.Symbol{
+		{d1, d2, d3, d1},
+		{d4, d2, d1},
+		{d3, d4, d2, d1},
+		{d2, d2},
+	})
+}
+
+func TestOccurs(t *testing.T) {
+	seq := []pattern.Symbol{d1, d2, d3, d1}
+	cases := []struct {
+		p    pattern.Pattern
+		want bool
+	}{
+		{pattern.MustNew(d1, d2), true},
+		{pattern.MustNew(d2, d3), true},
+		{pattern.MustNew(d3, d1), true},
+		{pattern.MustNew(d1, et, d3), true},
+		{pattern.MustNew(d1, et, et, d1), true},
+		{pattern.MustNew(d2, d1), false},
+		{pattern.MustNew(d5), false},
+		{pattern.MustNew(d1, d2, d3, d1, d1), false}, // longer than seq
+	}
+	for _, c := range cases {
+		if got := Occurs(c.p, seq); got != c.want {
+			t.Errorf("Occurs(%v)=%v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestDBFig4Supports(t *testing.T) {
+	// Golden supports from Figure 4(b)/(c): d1=0.75, d2=1.0, d3=0.5, d1d2=0.25,
+	// d2d1=0.5, d4d2=0.5, d2d2=0.25, d2d3=0.25, d3d4=0.25, d3d1=0.25.
+	db := fig4DB()
+	ps := []pattern.Pattern{
+		pattern.MustNew(d1), pattern.MustNew(d2), pattern.MustNew(d3),
+		pattern.MustNew(d1, d2), pattern.MustNew(d2, d1), pattern.MustNew(d4, d2),
+		pattern.MustNew(d2, d2), pattern.MustNew(d2, d3), pattern.MustNew(d3, d4),
+		pattern.MustNew(d3, d1), pattern.MustNew(d1, d1), pattern.MustNew(d5),
+	}
+	want := []float64{0.75, 1.0, 0.5, 0.25, 0.5, 0.5, 0.25, 0.25, 0.25, 0.25, 0, 0}
+	got, err := DB(db, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("support(%v)=%v, want %v", ps[i], got[i], want[i])
+		}
+	}
+	if db.Scans() != 1 {
+		t.Errorf("DB consumed %d scans", db.Scans())
+	}
+}
+
+func TestMeasureInterface(t *testing.T) {
+	var m match.Measure = Support{}
+	if m.Name() != "support" {
+		t.Errorf("Name=%q", m.Name())
+	}
+	if v := m.Value(pattern.MustNew(d2, d1), []pattern.Symbol{d4, d2, d1}); v != 1 {
+		t.Errorf("Value=%v, want 1", v)
+	}
+	if v := m.Value(pattern.MustNew(d1, d2), []pattern.Symbol{d4, d2, d1}); v != 0 {
+		t.Errorf("Value=%v, want 0", v)
+	}
+}
+
+func TestQuickSupportEqualsIdentityMatch(t *testing.T) {
+	// The §3 bridge: support(P,S) == match(P,S) under the identity matrix.
+	r := rand.New(rand.NewSource(31))
+	m := 5
+	c := compat.Identity(m)
+	f := func() bool {
+		l := 1 + r.Intn(4)
+		p := make(pattern.Pattern, l)
+		for i := range p {
+			if i > 0 && i < l-1 && r.Intn(3) == 0 {
+				p[i] = et
+			} else {
+				p[i] = pattern.Symbol(r.Intn(m))
+			}
+		}
+		seq := make([]pattern.Symbol, 1+r.Intn(10))
+		for i := range seq {
+			seq[i] = pattern.Symbol(r.Intn(m))
+		}
+		return Support{}.Value(p, seq) == match.Sequence(c, p, seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSupportApriori(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	f := func() bool {
+		m := 5
+		l := 2 + r.Intn(5)
+		super := make(pattern.Pattern, l)
+		for i := range super {
+			if i > 0 && i < l-1 && r.Intn(3) == 0 {
+				super[i] = et
+			} else {
+				super[i] = pattern.Symbol(r.Intn(m))
+			}
+		}
+		sub := super.Clone()
+		for i := range sub {
+			if r.Intn(2) == 0 {
+				sub[i] = et
+			}
+		}
+		sub = pattern.Trim(sub)
+		if sub == nil {
+			return true
+		}
+		seq := make([]pattern.Symbol, 1+r.Intn(12))
+		for i := range seq {
+			seq[i] = pattern.Symbol(r.Intn(m))
+		}
+		return Support{}.Value(sub, seq) >= Support{}.Value(super, seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

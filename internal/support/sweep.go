@@ -1,0 +1,106 @@
+package support
+
+import (
+	"fmt"
+
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+)
+
+// LevelOccurrences counts, for every k-pattern that actually occurs in the
+// database (with internal gaps at most maxGap and total length at most
+// maxLen), the number of sequences containing it. It enumerates the windows
+// of each gap shape instead of generating candidates, so one scan covers an
+// entire lattice level exactly — the classic occurrence-driven optimization
+// that keeps the support-model experiments tractable.
+func LevelOccurrences(db seqdb.Scanner, k, maxLen, maxGap int) (map[string]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("support: k %d < 1", k)
+	}
+	shapes := pattern.Shapes(k, maxLen, maxGap)
+	type shapeOffsets struct{ offs []int }
+	offs := make([]shapeOffsets, len(shapes))
+	for i, s := range shapes {
+		offs[i] = shapeOffsets{offs: s.Offsets()}
+	}
+	counts := make(map[string]int)
+	seen := make(map[string]bool)
+	syms := make([]pattern.Symbol, k)
+	err := db.Scan(func(id int, seq []pattern.Symbol) error {
+		for key := range seen {
+			delete(seen, key)
+		}
+		for si, s := range shapes {
+			if len(seq) < s.Len {
+				continue
+			}
+			for start := 0; start+s.Len <= len(seq); start++ {
+				for i, off := range offs[si].offs {
+					syms[i] = seq[start+off]
+				}
+				key := pattern.ShapeKey(s, syms)
+				if !seen[key] {
+					seen[key] = true
+					counts[key]++
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
+// MineBySweep computes the complete frequent set under the support measure
+// by occurrence counting, level by level, stopping at the first empty level
+// (valid by Apriori: dropping an end symbol of a frequent (k+1)-pattern
+// yields a frequent k-pattern within the same bounds). It consumes one scan
+// per level and returns the frequent set plus each frequent pattern's
+// support. Results are identical to miner.Exhaustive with the support
+// measure, but the cost is occurrence-bound instead of candidate-bound.
+func MineBySweep(db seqdb.Scanner, minSupport float64, maxLen, maxGap int) (*pattern.Set, map[string]float64, error) {
+	if minSupport <= 0 || minSupport > 1 {
+		return nil, nil, fmt.Errorf("support: minSupport %v outside (0,1]", minSupport)
+	}
+	if maxLen < 1 || maxGap < 0 {
+		return nil, nil, fmt.Errorf("support: bad bounds maxLen=%d maxGap=%d", maxLen, maxGap)
+	}
+	n := db.Len()
+	if n == 0 {
+		return pattern.NewSet(), nil, nil
+	}
+	need := int(minSupport * float64(n))
+	if float64(need) < minSupport*float64(n) {
+		need++
+	}
+	if need < 1 {
+		need = 1
+	}
+	frequent := pattern.NewSet()
+	values := make(map[string]float64)
+	for k := 1; k <= maxLen; k++ {
+		counts, err := LevelOccurrences(db, k, maxLen, maxGap)
+		if err != nil {
+			return nil, nil, err
+		}
+		added := 0
+		for key, cnt := range counts {
+			if cnt < need {
+				continue
+			}
+			p, err := pattern.ParseKey(key)
+			if err != nil {
+				return nil, nil, fmt.Errorf("support: internal key %q: %w", key, err)
+			}
+			frequent.Add(p)
+			values[key] = float64(cnt) / float64(n)
+			added++
+		}
+		if added == 0 {
+			break
+		}
+	}
+	return frequent, values, nil
+}

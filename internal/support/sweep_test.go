@@ -1,0 +1,150 @@
+package support
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/miner"
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+)
+
+func TestLevelOccurrencesFig4(t *testing.T) {
+	db := fig4DB()
+	counts, err := LevelOccurrences(db, 2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Golden occurrence counts (sequences containing the pattern).
+	cases := []struct {
+		p    pattern.Pattern
+		want int
+	}{
+		{pattern.MustNew(d2, d1), 2},
+		{pattern.MustNew(d1, d2), 1},
+		{pattern.MustNew(d4, d2), 2},
+		{pattern.MustNew(d2, et, d1), 1},
+		{pattern.MustNew(d1, et, d3), 1},
+	}
+	for _, c := range cases {
+		if got := counts[c.p.Key()]; got != c.want {
+			t.Errorf("count(%v)=%d, want %d", c.p, got, c.want)
+		}
+	}
+	if _, ok := counts[pattern.MustNew(d5, d5).Key()]; ok {
+		t.Error("non-occurring pattern counted")
+	}
+}
+
+func TestMineBySweepMatchesExhaustive(t *testing.T) {
+	for _, minSupport := range []float64{0.25, 0.5, 0.75} {
+		for _, bounds := range [][2]int{{3, 0}, {3, 1}, {4, 2}} {
+			maxLen, maxGap := bounds[0], bounds[1]
+			gotSet, gotVals, err := MineBySweep(fig4DB(), minSupport, maxLen, maxGap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := miner.Exhaustive(5, miner.DBValuer(fig4DB(), Support{}), minSupport,
+				miner.Options{MaxLen: maxLen, MaxGap: maxGap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("min=%v len=%d gap=%d", minSupport, maxLen, maxGap)
+			for _, p := range want.Frequent.Patterns() {
+				if !gotSet.Contains(p) {
+					t.Errorf("%s: missing %v", label, p)
+				}
+			}
+			for _, p := range gotSet.Patterns() {
+				if !want.Frequent.Contains(p) {
+					t.Errorf("%s: extra %v", label, p)
+				}
+				if v := gotVals[p.Key()]; v < minSupport {
+					t.Errorf("%s: %v has value %v below threshold", label, p, v)
+				}
+			}
+		}
+	}
+}
+
+func TestMineBySweepRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 10; trial++ {
+		m := 3 + rng.Intn(4)
+		seqs := make([][]pattern.Symbol, 10+rng.Intn(10))
+		for i := range seqs {
+			s := make([]pattern.Symbol, 3+rng.Intn(8))
+			for j := range s {
+				s[j] = pattern.Symbol(rng.Intn(m))
+			}
+			seqs[i] = s
+		}
+		minSupport := 0.2 + 0.5*rng.Float64()
+		gotSet, _, err := MineBySweep(seqdb.NewMemDB(seqs), minSupport, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := miner.Exhaustive(m, miner.DBValuer(seqdb.NewMemDB(seqs), Support{}), minSupport,
+			miner.Options{MaxLen: 4, MaxGap: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotSet.Len() != want.Frequent.Len() {
+			t.Fatalf("trial %d: sweep %d vs engine %d patterns", trial, gotSet.Len(), want.Frequent.Len())
+		}
+		for _, p := range want.Frequent.Patterns() {
+			if !gotSet.Contains(p) {
+				t.Fatalf("trial %d: missing %v", trial, p)
+			}
+		}
+	}
+}
+
+func TestMineBySweepValidation(t *testing.T) {
+	db := fig4DB()
+	if _, _, err := MineBySweep(db, 0, 3, 0); err == nil {
+		t.Error("minSupport=0 accepted")
+	}
+	if _, _, err := MineBySweep(db, 1.5, 3, 0); err == nil {
+		t.Error("minSupport>1 accepted")
+	}
+	if _, _, err := MineBySweep(db, 0.5, 0, 0); err == nil {
+		t.Error("maxLen=0 accepted")
+	}
+	if _, err := LevelOccurrences(db, 0, 3, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	empty := seqdb.NewMemDB(nil)
+	set, _, err := MineBySweep(empty, 0.5, 3, 0)
+	if err != nil || set.Len() != 0 {
+		t.Errorf("empty db: %v, %v", set, err)
+	}
+}
+
+func TestShapes(t *testing.T) {
+	shapes := pattern.Shapes(3, 5, 1)
+	// Gap compositions (g1,g2) with each <=1 and total length 3+g1+g2 <= 5:
+	// (0,0),(0,1),(1,0),(1,1) = 4 shapes.
+	if len(shapes) != 4 {
+		t.Fatalf("got %d shapes: %+v", len(shapes), shapes)
+	}
+	for _, s := range shapes {
+		if s.Len != 3+s.Gaps[0]+s.Gaps[1] {
+			t.Errorf("shape %+v length inconsistent", s)
+		}
+		p := s.Build([]pattern.Symbol{d1, d2, d3})
+		if err := p.Validate(); err != nil {
+			t.Errorf("built invalid pattern %v: %v", p, err)
+		}
+		if p.Key() != pattern.ShapeKey(s, []pattern.Symbol{d1, d2, d3}) {
+			t.Errorf("ShapeKey disagrees with Build().Key() for %+v", s)
+		}
+	}
+	if got := pattern.Shapes(1, 1, 3); len(got) != 1 || got[0].Len != 1 {
+		t.Errorf("k=1 shapes: %+v", got)
+	}
+	if pattern.Shapes(3, 2, 1) != nil {
+		t.Error("maxLen < k should yield no shapes")
+	}
+}

@@ -1,0 +1,191 @@
+package lsp
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fig4 returns the paper's worked example as public-API values.
+func fig4(t testing.TB) (*MemDB, *Matrix, *Alphabet) {
+	t.Helper()
+	a := GenericAlphabet(5)
+	matrix, err := NewMatrix([][]float64{
+		{0.90, 0.10, 0.00, 0.00, 0.00},
+		{0.05, 0.80, 0.05, 0.10, 0.00},
+		{0.05, 0.00, 0.70, 0.15, 0.10},
+		{0.00, 0.10, 0.10, 0.75, 0.05},
+		{0.00, 0.00, 0.15, 0.00, 0.85},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewMemDB([][]Symbol{
+		{0, 1, 2, 0},
+		{3, 1, 0},
+		{2, 3, 1, 0},
+		{1, 1},
+	})
+	return db, matrix, a
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	db, matrix, a := fig4(t)
+
+	p, err := a.Parse("d2 d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := MatchInDB(db, matrix, []Pattern{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := matches[0]; got < 0.391 || got > 0.392 {
+		t.Errorf("match(d2 d1)=%v, want 0.391", got)
+	}
+	supports, err := SupportInDB(db, []Pattern{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if supports[0] != 0.5 {
+		t.Errorf("support=%v", supports[0])
+	}
+
+	res, err := Mine(db, matrix, Config{
+		MinMatch: 0.3, SampleSize: 4, MaxLen: 3, MaxGap: 1, Rng: NewRand(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Border.Contains(p) {
+		t.Errorf("border %v missing d2 d1", res.Border.Patterns())
+	}
+
+	truth, err := Exhaustive(db, matrix, 0.3, MineOptions{MaxLen: 3, MaxGap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth.Frequent.Len() != res.Frequent.Len() {
+		t.Errorf("probabilistic %d vs exhaustive %d patterns", res.Frequent.Len(), truth.Frequent.Len())
+	}
+
+	mm, err := MaxMiner(db, matrix, 0.3, MineOptions{MaxLen: 3, MaxGap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.Frequent.Len() != truth.Frequent.Len() {
+		t.Errorf("max-miner %d vs exhaustive %d patterns", mm.Frequent.Len(), truth.Frequent.Len())
+	}
+}
+
+func TestPublicMatrixHelpers(t *testing.T) {
+	if !IdentityMatrix(4).IsIdentity() {
+		t.Error("IdentityMatrix not identity")
+	}
+	u, err := UniformNoiseMatrix(5, 0.2)
+	if err != nil || u.C(0, 0) != 0.8 {
+		t.Errorf("UniformNoiseMatrix: %v, %v", u, err)
+	}
+	bc, err := BLOSUMCompatibility(0.8, 0.5)
+	if err != nil || bc.Size() != 20 {
+		t.Errorf("BLOSUMCompatibility: %v", err)
+	}
+	ch, err := BLOSUMChannel(0.8, 0.5)
+	if err != nil || len(ch) != 20 {
+		t.Errorf("BLOSUMChannel: %v", err)
+	}
+	fc, err := MatrixFromChannel([][]float64{{0.9, 0.1}, {0.1, 0.9}}, nil)
+	if err != nil || fc.Size() != 2 {
+		t.Errorf("MatrixFromChannel: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := u.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrix(&buf)
+	if err != nil || back.C(0, 0) != 0.8 {
+		t.Errorf("ReadMatrix: %v", err)
+	}
+	if AminoAlphabet().Size() != 20 {
+		t.Error("AminoAlphabet size")
+	}
+}
+
+func TestPublicDBHelpers(t *testing.T) {
+	db, _, a := fig4(t)
+	path := t.TempDir() + "/api.lsq"
+	if err := WriteDB(path, db); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := OpenDB(path)
+	if err != nil || disk.Len() != 4 {
+		t.Fatalf("OpenDB: %v", err)
+	}
+	mem, err := LoadDB(path)
+	if err != nil || mem.Len() != 4 {
+		t.Fatalf("LoadDB: %v", err)
+	}
+	text, err := ReadTextDB(strings.NewReader("d1 d2\nd3 d4\n"), a)
+	if err != nil || text.Len() != 2 {
+		t.Fatalf("ReadTextDB: %v", err)
+	}
+	fasta, err := ReadFASTA(strings.NewReader(">x\nACD\n"), AminoAlphabet())
+	if err != nil || fasta.Len() != 1 {
+		t.Fatalf("ReadFASTA: %v", err)
+	}
+	sym, err := SymbolMatches(db, IdentityMatrix(5))
+	if err != nil || len(sym) != 5 {
+		t.Fatalf("SymbolMatches: %v", err)
+	}
+}
+
+func TestPublicPatternHelpers(t *testing.T) {
+	p, err := NewPattern(0, Eternal, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 2 || p.Len() != 3 {
+		t.Errorf("pattern shape: %v", p)
+	}
+	if _, err := NewPattern(Eternal, 1); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+	if _, err := NewAlphabet([]string{"a", "a"}); err == nil {
+		t.Error("duplicate alphabet accepted")
+	}
+}
+
+func ExampleMine() {
+	db, matrix, a := fig4(&testing.T{})
+	res, err := Mine(db, matrix, Config{
+		MinMatch: 0.3, SampleSize: 4, MaxLen: 3, MaxGap: 1, Rng: NewRand(1),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, p := range res.Border.Patterns() {
+		fmt.Println(a.Format(p))
+	}
+	// Output:
+	// d2 d1
+	// d3
+	// d4 * d1
+	// d4 d2
+}
+
+func TestPublicTopK(t *testing.T) {
+	db, matrix, _ := fig4(t)
+	res, err := TopK(db, matrix, 3, MineOptions{MaxLen: 2, MaxGap: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != 3 {
+		t.Fatalf("got %d patterns", len(res.Patterns))
+	}
+	// d2 is the highest-match 1-pattern (0.8) on the Figure 4 database.
+	if res.Patterns[0].Key() != "1" {
+		t.Errorf("top pattern %v, want d2", res.Patterns[0])
+	}
+}
