@@ -7,14 +7,23 @@
 //	lspmine -db test.lsq -matrix compat.txt -min-match 0.01 \
 //	        [-max-len 8] [-max-gap 1] [-sample 1000] [-delta 1e-4] \
 //	        [-budget 10000] [-finalizer collapse|levelwise|none] [-seed 1] \
-//	        [-all] [-v]
+//	        [-retries 3] [-all] [-v]
+//
+// SIGINT/SIGTERM cancel the run cleanly: the partial result (phase reached,
+// scans completed) is reported instead of dying mid-scan. -retries wraps the
+// database in a seqdb.RetryScanner that re-runs passes hit by transient I/O
+// failures with capped exponential backoff.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/compat"
 	"repro/internal/core"
@@ -34,6 +43,7 @@ func main() {
 	maxCand := flag.Int("max-candidates", 50000, "Phase 2 per-level candidate cap (0 = unlimited; dense matrices explode without one)")
 	finalizer := flag.String("finalizer", "collapse", "Phase 3 strategy: collapse, implicit, levelwise or none")
 	engine := flag.String("engine", "candidates", "Phase 2 engine: candidates or sweep (sparse matrices)")
+	retries := flag.Int("retries", 0, "retry transient scan failures up to this many times per pass (0 = no retrying)")
 	seed := flag.Int64("seed", 1, "random seed for sampling")
 	all := flag.Bool("all", false, "print every frequent pattern, not only the border")
 	jsonOut := flag.Bool("json", false, "emit a JSON report instead of text")
@@ -47,6 +57,9 @@ func main() {
 	db, err := seqdb.OpenAuto(*dbPath)
 	if err != nil {
 		fatal(err)
+	}
+	if *retries > 0 {
+		db = &seqdb.RetryScanner{Inner: db, MaxRetries: *retries}
 	}
 	mf, err := os.Open(*matrixPath)
 	if err != nil {
@@ -72,15 +85,22 @@ func main() {
 		fatal(fmt.Errorf("unknown finalizer %q", *finalizer))
 	}
 
-	mine := core.Mine
+	mine := core.MineContext
 	switch *engine {
 	case "candidates":
 	case "sweep":
-		mine = core.MineSweep
+		mine = core.MineSweepContext
 	default:
 		fatal(fmt.Errorf("unknown engine %q", *engine))
 	}
-	res, err := mine(db, c, core.Config{
+
+	// SIGINT/SIGTERM cancel the mining context: the run aborts within one
+	// sequence block and reports the partial result instead of dying
+	// mid-scan.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := mine(ctx, db, c, core.Config{
 		MinMatch:              *minMatch,
 		Delta:                 *delta,
 		SampleSize:            *sample,
@@ -92,6 +112,9 @@ func main() {
 		Rng:                   rand.New(rand.NewSource(*seed)),
 	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			reportInterrupted(err, res, db)
+		}
 		fatal(err)
 	}
 
@@ -108,6 +131,9 @@ func main() {
 	}
 	if *verbose {
 		fmt.Printf("sequences: %d, sample: %d, scans: %d\n", db.Len(), res.SampleSize, res.Scans)
+		if st := res.ScanStats; st.Retries > 0 || st.Permanent > 0 {
+			fmt.Printf("scan attempts: %d (%d retried after transient failures)\n", st.Attempts, st.Retries)
+		}
 		fmt.Printf("phase 2: %d frequent, %d ambiguous (%v)\n",
 			res.Phase2.Frequent.Len(), res.Phase2.Ambiguous.Len(), res.Phase2Time.Round(1e6))
 		if res.Phase2.Truncated {
@@ -127,6 +153,28 @@ func main() {
 	for _, p := range set.Patterns() {
 		fmt.Println("  ", a.Format(p))
 	}
+}
+
+// reportInterrupted summarizes a cancelled run: the phase it died in, the
+// scans it completed, and whatever partial output the finished phases left.
+func reportInterrupted(err error, res *core.Result, db seqdb.Scanner) {
+	phase := 0
+	var pe *core.PhaseError
+	if errors.As(err, &pe) {
+		phase = pe.Phase
+	}
+	fmt.Fprintf(os.Stderr, "lspmine: interrupted during phase %d; %d full scans completed\n", phase, db.Scans())
+	if res == nil {
+		os.Exit(130)
+	}
+	if res.Phase2 != nil {
+		fmt.Fprintf(os.Stderr, "lspmine: partial result: %d sample-frequent, %d ambiguous (unresolved)\n",
+			res.Phase2.Frequent.Len(), res.Phase2.Ambiguous.Len())
+	}
+	if st := res.ScanStats; st.Retries > 0 {
+		fmt.Fprintf(os.Stderr, "lspmine: %d scan attempts, %d retried\n", st.Attempts, st.Retries)
+	}
+	os.Exit(130)
 }
 
 func fatal(err error) {

@@ -17,6 +17,7 @@
 package border
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/miner"
@@ -33,6 +34,22 @@ type Config struct {
 	// Probe computes exact database matches for a batch of patterns at the
 	// cost of one full scan (e.g. miner.MatchDBValuer).
 	Probe miner.Valuer
+	// Ctx, when non-nil, is checked between probe scans; a cancelled run
+	// returns an error wrapping Ctx.Err(). Pair it with a context-aware
+	// Probe (miner.MatchDBValuerContext) so cancellation also lands
+	// mid-scan, within one sequence.
+	Ctx context.Context
+}
+
+// interrupted returns a wrapped cancellation error if cfg.Ctx is done.
+func (c Config) interrupted() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	if err := c.Ctx.Err(); err != nil {
+		return fmt.Errorf("border: interrupted between probe scans: %w", err)
+	}
+	return nil
 }
 
 func (c Config) validate() error {
@@ -89,6 +106,9 @@ func Finalize(cfg Config, sampleFrequent, ambiguous *pattern.Set, pick PickFunc)
 	}
 	pending := ambiguous.Clone()
 	for pending.Len() > 0 {
+		if err := cfg.interrupted(); err != nil {
+			return nil, err
+		}
 		batch := pick(pending, cfg.MemBudget)
 		if len(batch) == 0 {
 			return nil, fmt.Errorf("border: probe strategy returned no patterns with %d pending", pending.Len())

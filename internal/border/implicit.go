@@ -68,6 +68,9 @@ func CollapseImplicit(cfg Config, lower, upper *pattern.Set) (*Result, error) {
 	// at most |region| probes; an empty batch means nothing ambiguous is
 	// generable and the region is resolved.
 	for {
+		if err := cfg.interrupted(); err != nil {
+			return nil, err
+		}
 		// Generate probe layers between the confirmed border and the
 		// ceiling: halfway first, then recursive halves, until the budget
 		// fills (Algorithm 4.3's Layer[j] loop).

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -102,12 +103,13 @@ type Config struct {
 	Rng *rand.Rand
 }
 
-// probeValuer picks the sequential or parallel counting kernel.
-func (c *Config) probeValuer(db seqdb.Scanner, src compat.Source) miner.Valuer {
+// probeValuer picks the sequential or parallel counting kernel, both
+// cancellable through ctx and retry-safe when db re-runs failed passes.
+func (c *Config) probeValuer(ctx context.Context, db seqdb.Scanner, src compat.Source) miner.Valuer {
 	if c.Workers == 0 || c.Workers == 1 {
-		return miner.MatchDBValuer(db, src)
+		return miner.MatchDBValuerContext(ctx, db, src)
 	}
-	return miner.ParallelMatchDBValuer(db, src, c.Workers)
+	return miner.ParallelMatchDBValuerContext(ctx, db, src, c.Workers)
 }
 
 func (c *Config) setDefaults() {
@@ -150,6 +152,21 @@ func (c *Config) validate() error {
 	return nil
 }
 
+// PhaseError attributes a mining failure — an I/O error, corruption, or a
+// context cancellation — to the pipeline phase that raised it. It unwraps
+// to the underlying cause, so errors.Is(err, context.Canceled) and
+// errors.As for seqdb.CorruptError keep working through it.
+type PhaseError struct {
+	// Phase is the pipeline phase that failed (1, 2, or 3).
+	Phase int
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *PhaseError) Error() string { return fmt.Sprintf("core: phase %d: %v", e.Phase, e.Err) }
+
+func (e *PhaseError) Unwrap() error { return e.Err }
+
 // Result reports a complete mining run.
 type Result struct {
 	// Frequent is the final frequent set and Border its border (FQT).
@@ -169,11 +186,45 @@ type Result struct {
 	Scans int
 	// Phase timings, for the Figure 14 CPU-time comparison.
 	Phase1Time, Phase2Time, Phase3Time time.Duration
+	// PhaseReached is the highest phase that started (1..3) — on a failed
+	// or cancelled run, the phase the run died in.
+	PhaseReached int
+	// ScanStats reports the scanner's pass/retry/error counters when db
+	// implements seqdb.StatsReporter (e.g. a seqdb.RetryScanner); zero
+	// otherwise.
+	ScanStats seqdb.ScanStats
+}
+
+// captureScanStats copies the scanner's retry counters into the result when
+// the scanner tracks them.
+func (r *Result) captureScanStats(db seqdb.Scanner) {
+	if sr, ok := db.(seqdb.StatsReporter); ok {
+		r.ScanStats = sr.ScanStats()
+	}
 }
 
 // Mine runs the full three-phase algorithm over db with the compatibility
 // source c.
 func Mine(db seqdb.Scanner, c compat.Source, cfg Config) (*Result, error) {
+	return MineContext(context.Background(), db, c, cfg)
+}
+
+// MineContext is Mine with cooperative cancellation: ctx is checked between
+// sequences in Phase 1's scan, between lattice levels in Phase 2, and
+// between (and within) probe scans in Phase 3, so a cancelled run aborts
+// within one sequence block. Any phase failure — cancellation, I/O error,
+// corruption — is returned as a *PhaseError naming the phase, wrapping the
+// cause (errors.Is(err, context.Canceled) holds for cancelled runs).
+//
+// On a phase failure the partial Result is returned alongside the error: it
+// carries PhaseReached, the phases' outputs completed so far, and the
+// scanner's ScanStats, so callers (e.g. a SIGINT handler) can report how far
+// the run got.
+//
+// When db re-runs failed passes (a seqdb.RetryScanner over a flaky store),
+// every scan in the pipeline is retry-safe: per-pass counting state is
+// rebuilt per attempt, and only completed passes count toward Scans.
+func MineContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cfg Config) (*Result, error) {
 	cfg.setDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -181,46 +232,55 @@ func Mine(db seqdb.Scanner, c compat.Source, cfg Config) (*Result, error) {
 	if db.Len() == 0 {
 		return nil, fmt.Errorf("core: empty database")
 	}
+	res := &Result{}
+	fail := func(phase int, err error) (*Result, error) {
+		res.PhaseReached = phase
+		res.captureScanStats(db)
+		return res, &PhaseError{Phase: phase, Err: err}
+	}
 
 	// Phase 1: symbol matches + sample, one scan.
+	res.PhaseReached = 1
 	start := time.Now()
-	symbolMatch, sample, err := Phase1(db, c, cfg.SampleSize, cfg.Rng)
+	symbolMatch, sample, err := Phase1Context(ctx, db, c, cfg.SampleSize, cfg.Rng)
 	if err != nil {
-		return nil, err
+		return fail(1, err)
 	}
-	res := &Result{
-		SymbolMatch: symbolMatch,
-		SampleSize:  len(sample),
-		Scans:       1,
-		Phase1Time:  time.Since(start),
-	}
+	res.SymbolMatch = symbolMatch
+	res.SampleSize = len(sample)
+	res.Scans = 1
+	res.Phase1Time = time.Since(start)
 
 	// Phase 2: sample mining with Chernoff classification.
+	res.PhaseReached = 2
 	start = time.Now()
 	opts := miner.Options{
 		MaxLen:                cfg.MaxLen,
 		MaxGap:                cfg.MaxGap,
 		MaxCandidatesPerLevel: cfg.MaxCandidatesPerLevel,
 	}
-	res.Phase2, err = miner.SampleChernoff(c.Size(), miner.MatchSampleValuer(c, sample),
+	res.Phase2, err = miner.SampleChernoffContext(ctx, c.Size(), miner.MatchSampleValuer(c, sample),
 		symbolMatch, cfg.MinMatch, cfg.Delta, len(sample), opts)
 	if err != nil {
-		return nil, err
+		return fail(2, err)
 	}
 	res.Phase2Time = time.Since(start)
 
 	// Phase 3: finalize the border against the full database.
+	res.PhaseReached = 3
 	start = time.Now()
 	if cfg.Finalizer == None || res.Phase2.Ambiguous.Len() == 0 {
 		res.Frequent = res.Phase2.Frequent.Clone()
 		res.Border = pattern.Border(res.Frequent)
 		res.Phase3Time = time.Since(start)
+		res.captureScanStats(db)
 		return res, nil
 	}
 	probeCfg := border.Config{
 		MinMatch:  cfg.MinMatch,
 		MemBudget: cfg.MemBudget,
-		Probe:     cfg.probeValuer(db, c),
+		Probe:     cfg.probeValuer(ctx, db, c),
+		Ctx:       ctx,
 	}
 	switch cfg.Finalizer {
 	case BorderCollapsing:
@@ -231,12 +291,13 @@ func Mine(db seqdb.Scanner, c compat.Source, cfg Config) (*Result, error) {
 		res.Phase3, err = border.CollapseImplicit(probeCfg, implicitLower(res.Phase2), res.Phase2.Ceiling)
 	}
 	if err != nil {
-		return nil, err
+		return fail(3, err)
 	}
 	res.Frequent = res.Phase3.Frequent
 	res.Border = res.Phase3.Border
 	res.Scans += res.Phase3.Scans
 	res.Phase3Time = time.Since(start)
+	res.captureScanStats(db)
 	return res, nil
 }
 
@@ -263,15 +324,28 @@ func levelwiseFinalize(cfg border.Config, sampleFrequent, ambiguous *pattern.Set
 // Phase1 performs Algorithm 4.1: one scan computing every symbol's match and
 // drawing a sequential random sample of up to n sequences.
 func Phase1(db seqdb.Scanner, c compat.Source, n int, rng *rand.Rand) ([]float64, [][]pattern.Symbol, error) {
-	acc := match.NewSymbolAccumulator(c)
-	sampler, err := sampling.NewSequential(n, db.Len(), rng)
-	if err != nil {
-		return nil, nil, err
-	}
-	err = db.Scan(func(id int, seq []pattern.Symbol) error {
-		acc.Observe(seq)
-		sampler.Offer(seq)
-		return nil
+	return Phase1Context(nil, db, c, n, rng)
+}
+
+// Phase1Context is Phase1 with cancellation checked between sequences. The
+// accumulator and sampler are rebuilt per scan attempt, so a retrying
+// scanner can re-run a failed pass without double-counting; a retried pass
+// redraws its sample with fresh rng draws (statistically equivalent).
+func Phase1Context(ctx context.Context, db seqdb.Scanner, c compat.Source, n int, rng *rand.Rand) ([]float64, [][]pattern.Symbol, error) {
+	var acc *match.SymbolAccumulator
+	var sampler *sampling.Sequential
+	err := seqdb.ScanPassContext(ctx, db, func() (func(id int, seq []pattern.Symbol) error, error) {
+		a := match.NewSymbolAccumulator(c)
+		s, err := sampling.NewSequential(n, db.Len(), rng)
+		if err != nil {
+			return nil, err
+		}
+		acc, sampler = a, s
+		return func(id int, seq []pattern.Symbol) error {
+			a.Observe(seq)
+			s.Offer(seq)
+			return nil
+		}, nil
 	})
 	if err != nil {
 		return nil, nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,6 +32,14 @@ import (
 // Results are identical to Mine up to the sweep's documented floor
 // undercount (min_match/64, folded into the ambiguous band).
 func MineSweep(db seqdb.Scanner, c compat.Source, cfg Config) (*Result, error) {
+	return MineSweepContext(context.Background(), db, c, cfg)
+}
+
+// MineSweepContext is MineSweep with the cancellation, phase-attribution,
+// partial-result, and retry semantics of MineContext: ctx is checked
+// between sequences in Phase 1, between sweep levels in Phase 2, and
+// between/within probe scans in Phase 3; failures surface as *PhaseError.
+func MineSweepContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cfg Config) (*Result, error) {
 	cfg.setDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -38,26 +47,32 @@ func MineSweep(db seqdb.Scanner, c compat.Source, cfg Config) (*Result, error) {
 	if db.Len() == 0 {
 		return nil, fmt.Errorf("core: empty database")
 	}
+	res := &Result{}
+	fail := func(phase int, err error) (*Result, error) {
+		res.PhaseReached = phase
+		res.captureScanStats(db)
+		return res, &PhaseError{Phase: phase, Err: err}
+	}
 
 	// Phase 1: symbol matches + sample, one scan.
+	res.PhaseReached = 1
 	start := time.Now()
-	symbolMatch, sample, err := Phase1(db, c, cfg.SampleSize, cfg.Rng)
+	symbolMatch, sample, err := Phase1Context(ctx, db, c, cfg.SampleSize, cfg.Rng)
 	if err != nil {
-		return nil, err
+		return fail(1, err)
 	}
 	n := len(sample)
-	res := &Result{
-		SymbolMatch: symbolMatch,
-		SampleSize:  n,
-		Scans:       1,
-		Phase1Time:  time.Since(start),
-	}
+	res.SymbolMatch = symbolMatch
+	res.SampleSize = n
+	res.Scans = 1
+	res.Phase1Time = time.Since(start)
 
 	// Phase 2: window sweep over the sample with Chernoff classification.
+	res.PhaseReached = 2
 	start = time.Now()
 	cls, err := chernoff.NewClassifier(cfg.MinMatch, cfg.Delta, n)
 	if err != nil {
-		return nil, err
+		return fail(2, err)
 	}
 	p2 := &miner.Result{
 		Frequent:  pattern.NewSet(),
@@ -88,15 +103,18 @@ func MineSweep(db seqdb.Scanner, c compat.Source, cfg Config) (*Result, error) {
 	p2.CandidatesPerLevel = append(p2.CandidatesPerLevel, c.Size())
 	p2.AlivePerLevel = append(p2.AlivePerLevel, aliveSymbols)
 	if eps := cls.Epsilon(maxSym); eps >= cfg.MinMatch {
-		return nil, fmt.Errorf("core: sample too small for sweep mining (ε=%v >= min_match=%v); grow the sample or use Mine", eps, cfg.MinMatch)
+		return fail(2, fmt.Errorf("core: sample too small for sweep mining (ε=%v >= min_match=%v); grow the sample or use Mine", eps, cfg.MinMatch))
 	}
 
 	sampleDB := seqdb.NewMemDB(sample)
 	alive := aliveSymbols
 	for k := 2; k <= cfg.MaxLen && alive > 0; k++ {
+		if err := ctx.Err(); err != nil {
+			return fail(2, err)
+		}
 		sums, err := match.LevelSweep(sampleDB, c, k, cfg.MaxLen, cfg.MaxGap, floor)
 		if err != nil {
-			return nil, err
+			return fail(2, err)
 		}
 		alive = 0
 		p2.CandidatesPerLevel = append(p2.CandidatesPerLevel, len(sums))
@@ -104,7 +122,7 @@ func MineSweep(db seqdb.Scanner, c compat.Source, cfg Config) (*Result, error) {
 			v := sum / float64(n)
 			p, err := pattern.ParseKey(key)
 			if err != nil {
-				return nil, err
+				return fail(2, err)
 			}
 			spread := chernoff.RestrictedSpread(p, symbolMatch)
 			p2.Values[key] = v
@@ -134,17 +152,20 @@ func MineSweep(db seqdb.Scanner, c compat.Source, cfg Config) (*Result, error) {
 	res.Phase2Time = time.Since(start)
 
 	// Phase 3: identical finalization to Mine.
+	res.PhaseReached = 3
 	start = time.Now()
 	if cfg.Finalizer == None || p2.Ambiguous.Len() == 0 {
 		res.Frequent = p2.Frequent.Clone()
 		res.Border = pattern.Border(res.Frequent)
 		res.Phase3Time = time.Since(start)
+		res.captureScanStats(db)
 		return res, nil
 	}
 	probeCfg := border.Config{
 		MinMatch:  cfg.MinMatch,
 		MemBudget: cfg.MemBudget,
-		Probe:     cfg.probeValuer(db, c),
+		Probe:     cfg.probeValuer(ctx, db, c),
+		Ctx:       ctx,
 	}
 	switch cfg.Finalizer {
 	case BorderCollapsing:
@@ -155,11 +176,12 @@ func MineSweep(db seqdb.Scanner, c compat.Source, cfg Config) (*Result, error) {
 		res.Phase3, err = border.CollapseImplicit(probeCfg, implicitLower(p2), p2.Ceiling)
 	}
 	if err != nil {
-		return nil, err
+		return fail(3, err)
 	}
 	res.Frequent = res.Phase3.Frequent
 	res.Border = res.Phase3.Border
 	res.Scans += res.Phase3.Scans
 	res.Phase3Time = time.Since(start)
+	res.captureScanStats(db)
 	return res, nil
 }

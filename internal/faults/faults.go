@@ -1,0 +1,169 @@
+// Package faults provides deterministic fault injection for seqdb scanners,
+// so the fault-tolerance of the mining pipeline — retrying transient
+// failures, surfacing permanent ones, tolerating corrupted payloads — can be
+// proven end-to-end in tests without touching real disks.
+//
+// A faults.Scanner wraps any seqdb.Scanner and fires its configured Faults
+// at exact (scan attempt, sequence index) coordinates. Because the wrapped
+// scanner only counts completed passes, a run that survives injected
+// transient faults reports exactly the same scan count as a fault-free run.
+package faults
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+)
+
+// Kind selects a fault's failure mode.
+type Kind int
+
+const (
+	// Transient aborts the pass with an error marked retryable
+	// (seqdb.MarkTransient); a retrying scanner heals it by re-running.
+	Transient Kind = iota
+	// Permanent aborts the pass with a non-retryable error.
+	Permanent
+	// Corrupt does not fail: it delivers the sequence with one symbol
+	// flipped, simulating payload damage below checksum coverage.
+	Corrupt
+)
+
+// String names the kind for error messages.
+func (k Kind) String() string {
+	switch k {
+	case Transient:
+		return "transient"
+	case Permanent:
+		return "permanent"
+	case Corrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Fault fires when the scanner's pass-attempt counter reaches Scan and the
+// pass reaches sequence Seq.
+type Fault struct {
+	// Scan is the 1-based pass attempt the fault fires on. Retries advance
+	// the attempt counter, so a non-Repeat fault heals on the re-run —
+	// transient-then-heal by construction.
+	Scan int
+	// Seq is the 0-based sequence index the fault fires at.
+	Seq int
+	// Kind selects the failure mode.
+	Kind Kind
+	// Repeat makes the fault fire on every attempt >= Scan (a permanently
+	// damaged region), not just the one attempt.
+	Repeat bool
+	// Pos is the symbol position Corrupt flips (clamped to the sequence).
+	Pos int
+	// Err overrides the injected error for Transient/Permanent faults.
+	Err error
+}
+
+func (f *Fault) matches(attempt, id int) bool {
+	if f.Seq != id {
+		return false
+	}
+	if f.Repeat {
+		return attempt >= f.Scan
+	}
+	return attempt == f.Scan
+}
+
+func (f *Fault) error() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return fmt.Errorf("faults: injected %s failure at scan %d sequence %d", f.Kind, f.Scan, f.Seq)
+}
+
+// TransientOn builds a fault that fails attempt scan at sequence seq with a
+// retryable error and heals on the re-run.
+func TransientOn(scan, seq int) Fault {
+	return Fault{Scan: scan, Seq: seq, Kind: Transient}
+}
+
+// PermanentOn builds a fault that fails every attempt from scan onward at
+// sequence seq with a non-retryable error.
+func PermanentOn(scan, seq int) Fault {
+	return Fault{Scan: scan, Seq: seq, Kind: Permanent, Repeat: true}
+}
+
+// CorruptAt builds a fault that flips the symbol at position pos of sequence
+// seq on every attempt from scan onward.
+func CorruptAt(scan, seq, pos int) Fault {
+	return Fault{Scan: scan, Seq: seq, Kind: Corrupt, Repeat: true, Pos: pos}
+}
+
+// Scanner wraps a seqdb.Scanner with deterministic fault injection. It
+// implements seqdb.ContextScanner; Len/Scans/ResetScans delegate to the
+// wrapped scanner.
+type Scanner struct {
+	Inner  seqdb.Scanner
+	Faults []Fault
+
+	attempts int
+}
+
+// New wraps inner with the given faults.
+func New(inner seqdb.Scanner, faults ...Fault) *Scanner {
+	return &Scanner{Inner: inner, Faults: faults}
+}
+
+// Len returns the wrapped scanner's sequence count.
+func (s *Scanner) Len() int { return s.Inner.Len() }
+
+// Scans returns the wrapped scanner's completed-pass count (failed attempts
+// do not count, mirroring every other Scanner).
+func (s *Scanner) Scans() int { return s.Inner.Scans() }
+
+// ResetScans zeroes the wrapped scanner's pass counter. The attempt counter
+// driving fault coordinates is not reset.
+func (s *Scanner) ResetScans() { s.Inner.ResetScans() }
+
+// Attempts returns the number of pass attempts started, including failed
+// ones.
+func (s *Scanner) Attempts() int { return s.attempts }
+
+// Scan implements seqdb.Scanner.
+func (s *Scanner) Scan(fn func(id int, seq []pattern.Symbol) error) error {
+	return s.ScanContext(nil, fn)
+}
+
+// ScanContext implements seqdb.ContextScanner, firing any fault whose
+// coordinates match the current attempt.
+func (s *Scanner) ScanContext(ctx context.Context, fn func(id int, seq []pattern.Symbol) error) error {
+	s.attempts++
+	attempt := s.attempts
+	return seqdb.ScanContext(ctx, s.Inner, func(id int, seq []pattern.Symbol) error {
+		for i := range s.Faults {
+			f := &s.Faults[i]
+			if !f.matches(attempt, id) {
+				continue
+			}
+			switch f.Kind {
+			case Transient:
+				return seqdb.MarkTransient(f.error())
+			case Permanent:
+				return f.error()
+			case Corrupt:
+				cp := make([]pattern.Symbol, len(seq))
+				copy(cp, seq)
+				pos := f.Pos
+				if pos >= len(cp) {
+					pos = len(cp) - 1
+				}
+				if pos >= 0 {
+					cp[pos] ^= 1
+				}
+				seq = cp
+			}
+		}
+		return fn(id, seq)
+	})
+}

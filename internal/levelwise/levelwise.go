@@ -16,6 +16,9 @@ import (
 
 // Finalize resolves the ambiguous region bottom-up. The result is exactly
 // the same frequent set as border.Collapse — only the scan count differs.
+// Cancellation (cfg.Ctx) and probe retry semantics are inherited from
+// border.Finalize: the loop checks the context between probe scans, and a
+// retrying Probe re-runs failed passes transparently.
 func Finalize(cfg border.Config, sampleFrequent, ambiguous *pattern.Set) (*border.Result, error) {
 	return border.Finalize(cfg, sampleFrequent, ambiguous, PickBottomUp)
 }

@@ -1,6 +1,8 @@
 package miner
 
 import (
+	"context"
+
 	"repro/internal/chernoff"
 	"repro/internal/compat"
 	"repro/internal/match"
@@ -37,22 +39,58 @@ func MatchSampleValuer(c compat.Source, sample [][]pattern.Symbol) Valuer {
 
 // DBValuer evaluates candidates with one full database scan per call.
 func DBValuer(db seqdb.Scanner, meas match.Measure) Valuer {
+	return DBValuerContext(nil, db, meas)
+}
+
+// DBValuerContext is DBValuer with cancellation checked between sequences.
+// The per-pass sums are rebuilt per attempt, so a retrying scanner can
+// re-run a failed pass without double-counting.
+func DBValuerContext(ctx context.Context, db seqdb.Scanner, meas match.Measure) Valuer {
 	return func(ps []pattern.Pattern) ([]float64, error) {
-		return match.DB(db, meas, ps)
+		var sums []float64
+		err := seqdb.ScanPassContext(ctx, db, func() (func(id int, seq []pattern.Symbol) error, error) {
+			sums = make([]float64, len(ps))
+			return func(id int, seq []pattern.Symbol) error {
+				for i, p := range ps {
+					sums[i] += meas.Value(p, seq)
+				}
+				return nil
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if n := db.Len(); n > 0 {
+			for i := range sums {
+				sums[i] /= float64(n)
+			}
+		}
+		return sums, nil
 	}
 }
 
 // MatchDBValuer evaluates candidates with one full database scan per call
 // under the match measure using compiled matchers.
 func MatchDBValuer(db seqdb.Scanner, c compat.Source) Valuer {
+	return MatchDBValuerContext(nil, db, c)
+}
+
+// MatchDBValuerContext is MatchDBValuer with cancellation checked between
+// sequences. The compiled set is rebuilt per scan attempt, so a retrying
+// scanner can re-run a failed pass without double-counting observations.
+func MatchDBValuerContext(ctx context.Context, db seqdb.Scanner, c compat.Source) Valuer {
 	return func(ps []pattern.Pattern) ([]float64, error) {
-		set, err := match.CompileSet(c, ps)
-		if err != nil {
-			return nil, err
-		}
-		err = db.Scan(func(id int, seq []pattern.Symbol) error {
-			set.Observe(seq)
-			return nil
+		var set *match.CompiledSet
+		err := seqdb.ScanPassContext(ctx, db, func() (func(id int, seq []pattern.Symbol) error, error) {
+			s, err := match.CompileSet(c, ps)
+			if err != nil {
+				return nil, err
+			}
+			set = s
+			return func(id int, seq []pattern.Symbol) error {
+				s.Observe(seq)
+				return nil
+			}, nil
 		})
 		if err != nil {
 			return nil, err
@@ -66,8 +104,15 @@ func MatchDBValuer(db seqdb.Scanner, c compat.Source) Valuer {
 // With a DBValuer it consumes one scan per lattice level; with a sample or
 // in-memory valuer it is the ground-truth miner of the experiments.
 func Exhaustive(m int, valuer Valuer, minMatch float64, opts Options) (*Result, error) {
+	return ExhaustiveContext(nil, m, valuer, minMatch, opts)
+}
+
+// ExhaustiveContext is Exhaustive with cancellation checked between lattice
+// levels.
+func ExhaustiveContext(ctx context.Context, m int, valuer Valuer, minMatch float64, opts Options) (*Result, error) {
 	e := &Engine{
 		M:     m,
+		Ctx:   ctx,
 		Opts:  opts,
 		Value: valuer,
 		Classify: func(_ pattern.Pattern, v, _ float64) chernoff.Label {
@@ -86,12 +131,19 @@ func Exhaustive(m int, valuer Valuer, minMatch float64, opts Options) (*Result, 
 // full-database symbol matches. The returned Result's Ambiguous set is the
 // input to Phase 3.
 func SampleChernoff(m int, valuer Valuer, symbolMatch []float64, minMatch, delta float64, sampleSize int, opts Options) (*Result, error) {
+	return SampleChernoffContext(nil, m, valuer, symbolMatch, minMatch, delta, sampleSize, opts)
+}
+
+// SampleChernoffContext is SampleChernoff with cancellation checked between
+// lattice levels.
+func SampleChernoffContext(ctx context.Context, m int, valuer Valuer, symbolMatch []float64, minMatch, delta float64, sampleSize int, opts Options) (*Result, error) {
 	cls, err := chernoff.NewClassifier(minMatch, delta, sampleSize)
 	if err != nil {
 		return nil, err
 	}
 	e := &Engine{
 		M:           m,
+		Ctx:         ctx,
 		Opts:        opts,
 		Value:       valuer,
 		SymbolMatch: symbolMatch,

@@ -1,6 +1,7 @@
 package miner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -20,12 +21,23 @@ import (
 // Use it for wide probe scans (many counters per pass); for small batches
 // the sequential valuer's lower constant wins.
 func ParallelMatchDBValuer(db seqdb.Scanner, c compat.Source, workers int) Valuer {
+	return ParallelMatchDBValuerContext(nil, db, c, workers)
+}
+
+// ParallelMatchDBValuerContext is ParallelMatchDBValuer with cancellation
+// checked between sequences and before every block flush. Worker-private
+// compiled sets and block state are rebuilt per scan attempt, so a retrying
+// scanner can re-run a failed pass without double-counting.
+func ParallelMatchDBValuerContext(ctx context.Context, db seqdb.Scanner, c compat.Source, workers int) Valuer {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return func(ps []pattern.Pattern) ([]float64, error) {
 		if len(ps) == 0 {
-			if err := db.Scan(func(int, []pattern.Symbol) error { return nil }); err != nil {
+			err := seqdb.ScanPassContext(ctx, db, func() (func(int, []pattern.Symbol) error, error) {
+				return func(int, []pattern.Symbol) error { return nil }, nil
+			})
+			if err != nil {
 				return nil, err
 			}
 			return nil, nil
@@ -34,52 +46,69 @@ func ParallelMatchDBValuer(db seqdb.Scanner, c compat.Source, workers int) Value
 		if w > len(ps) {
 			w = len(ps)
 		}
-		// Partition patterns into w contiguous chunks, one CompiledSet each.
-		sets := make([]*match.CompiledSet, w)
-		bounds := make([]int, w+1)
-		for i := 0; i < w; i++ {
-			bounds[i+1] = (len(ps) * (i + 1)) / w
-			set, err := match.CompileSet(c, ps[bounds[i]:bounds[i+1]])
-			if err != nil {
-				return nil, err
-			}
-			sets[i] = set
-		}
 
 		const blockSize = 256
-		block := make([][]pattern.Symbol, 0, blockSize)
-		var wg sync.WaitGroup
-		flush := func() {
-			if len(block) == 0 {
-				return
-			}
-			wg.Add(w)
+		var sets []*match.CompiledSet
+		var bounds []int
+		var finalFlush func() error
+		err := seqdb.ScanPassContext(ctx, db, func() (func(int, []pattern.Symbol) error, error) {
+			// Per-attempt state: pattern partitions, one CompiledSet each,
+			// and the block accumulator — fresh on every (re-)run.
+			sets = make([]*match.CompiledSet, w)
+			bounds = make([]int, w+1)
 			for i := 0; i < w; i++ {
-				go func(set *match.CompiledSet) {
-					defer wg.Done()
-					for _, seq := range block {
-						set.Observe(seq)
+				bounds[i+1] = (len(ps) * (i + 1)) / w
+				set, err := match.CompileSet(c, ps[bounds[i]:bounds[i+1]])
+				if err != nil {
+					return nil, err
+				}
+				sets[i] = set
+			}
+			block := make([][]pattern.Symbol, 0, blockSize)
+			attemptSets := sets
+			flush := func() error {
+				if len(block) == 0 {
+					return nil
+				}
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						return err
 					}
-				}(sets[i])
+				}
+				var wg sync.WaitGroup
+				wg.Add(w)
+				for i := 0; i < w; i++ {
+					go func(set *match.CompiledSet) {
+						defer wg.Done()
+						for _, seq := range block {
+							set.Observe(seq)
+						}
+					}(attemptSets[i])
+				}
+				wg.Wait()
+				block = block[:0]
+				return nil
 			}
-			wg.Wait()
-			block = block[:0]
-		}
-		err := db.Scan(func(id int, seq []pattern.Symbol) error {
-			// The scanner may reuse its buffer (DiskDB does), so block
-			// entries are copies.
-			cp := make([]pattern.Symbol, len(seq))
-			copy(cp, seq)
-			block = append(block, cp)
-			if len(block) == blockSize {
-				flush()
-			}
-			return nil
+			finalFlush = flush
+			return func(id int, seq []pattern.Symbol) error {
+				// The scanner may reuse its buffer (DiskDB does), so block
+				// entries are copies.
+				cp := make([]pattern.Symbol, len(seq))
+				copy(cp, seq)
+				block = append(block, cp)
+				if len(block) == blockSize {
+					return flush()
+				}
+				return nil
+			}, nil
 		})
 		if err != nil {
 			return nil, err
 		}
-		flush()
+		// Drain the last partial block of the successful attempt.
+		if err := finalFlush(); err != nil {
+			return nil, err
+		}
 
 		n := db.Len()
 		out := make([]float64, 0, len(ps))

@@ -9,11 +9,13 @@ import (
 )
 
 // FuzzDiskScan checks that scanning arbitrary bytes as a database file never
-// panics: it either errors cleanly or yields well-formed sequences.
+// panics: it either errors cleanly or yields well-formed sequences. Seeds
+// cover all three on-disk formats (LSQ2, legacy LSQ1, gzip-compressed LSQZ).
 func FuzzDiskScan(f *testing.F) {
 	dir := f.TempDir()
+	seedDB := NewMemDB([][]pattern.Symbol{{0, 1, 2}, {3}})
 	good := filepath.Join(dir, "seed.lsq")
-	if err := WriteFile(good, NewMemDB([][]pattern.Symbol{{0, 1, 2}, {3}})); err != nil {
+	if err := WriteFile(good, seedDB); err != nil {
 		f.Fatal(err)
 	}
 	raw, err := os.ReadFile(good)
@@ -21,7 +23,41 @@ func FuzzDiskScan(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(raw)
+
+	legacy := filepath.Join(dir, "seed1.lsq")
+	lw, err := CreateLegacyFile(legacy)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < seedDB.Len(); i++ {
+		if err := lw.Write(seedDB.Seq(i)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := lw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	rawLegacy, err := os.ReadFile(legacy)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rawLegacy)
+
+	packed := filepath.Join(dir, "seed.lsqz")
+	if err := WriteGzipFile(packed, seedDB); err != nil {
+		f.Fatal(err)
+	}
+	rawGzip, err := os.ReadFile(packed)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rawGzip)
+	// A gzip container whose deflate body is cut short.
+	f.Add(rawGzip[:len(rawGzip)-6])
+
 	f.Add([]byte("LSQ1garbage"))
+	f.Add([]byte("LSQ2garbage"))
+	f.Add([]byte("LSQZgarbage"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		path := filepath.Join(t.TempDir(), "fuzz.lsq")

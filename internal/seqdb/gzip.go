@@ -3,6 +3,7 @@ package seqdb
 import (
 	"bufio"
 	"compress/gzip"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -21,11 +22,12 @@ var gzipMagic = [4]byte{'L', 'S', 'Q', 'Z'}
 
 // GzipWriter streams sequences into the compressed on-disk format.
 type GzipWriter struct {
-	f   *os.File
-	zw  *gzip.Writer
-	bw  *bufio.Writer
-	n   uint64
-	buf []byte
+	f      *os.File
+	zw     *gzip.Writer
+	bw     *bufio.Writer
+	n      uint64
+	buf    []byte
+	closed bool
 }
 
 // CreateGzipFile opens path for writing in the compressed format.
@@ -54,6 +56,9 @@ func CreateGzipFile(path string) (*GzipWriter, error) {
 
 // Write appends one sequence.
 func (w *GzipWriter) Write(seq []pattern.Symbol) error {
+	if w.closed {
+		return fmt.Errorf("seqdb: write after Close")
+	}
 	if len(seq) == 0 {
 		return fmt.Errorf("seqdb: empty sequence")
 	}
@@ -74,8 +79,13 @@ func (w *GzipWriter) Write(seq []pattern.Symbol) error {
 	return nil
 }
 
-// Close flushes the compressor, patches the sequence count, and closes.
+// Close flushes the compressor, patches the sequence count, fsyncs, and
+// closes. A closed GzipWriter rejects further Writes.
 func (w *GzipWriter) Close() error {
+	if w.closed {
+		return fmt.Errorf("seqdb: Close on closed writer")
+	}
+	w.closed = true
 	if err := w.bw.Flush(); err != nil {
 		w.f.Close()
 		return fmt.Errorf("seqdb: flush: %w", err)
@@ -89,6 +99,10 @@ func (w *GzipWriter) Close() error {
 	if _, err := w.f.WriteAt(cnt[:], int64(len(gzipMagic))); err != nil {
 		w.f.Close()
 		return fmt.Errorf("seqdb: patch count: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("seqdb: sync: %w", err)
 	}
 	if err := w.f.Close(); err != nil {
 		return fmt.Errorf("seqdb: close: %w", err)
@@ -136,6 +150,14 @@ func (db *GzipDB) Path() string { return db.path }
 
 // Scan implements Scanner.
 func (db *GzipDB) Scan(fn func(id int, seq []pattern.Symbol) error) error {
+	return db.ScanContext(nil, fn)
+}
+
+// ScanContext implements ContextScanner. A truncated or corrupt deflate
+// stream, a body shorter than the declared count, and trailing garbage after
+// the last sequence are all reported as errors (the gzip footer's own
+// checksum is verified when the stream drains).
+func (db *GzipDB) ScanContext(ctx context.Context, fn func(id int, seq []pattern.Symbol) error) error {
 	f, err := os.Open(db.path)
 	if err != nil {
 		return fmt.Errorf("seqdb: open: %w", err)
@@ -152,12 +174,15 @@ func (db *GzipDB) Scan(fn func(id int, seq []pattern.Symbol) error) error {
 	br := bufio.NewReaderSize(zr, 1<<20)
 	var seq []pattern.Symbol
 	for i := 0; i < db.n; i++ {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		l, err := binary.ReadUvarint(br)
 		if err != nil {
-			return fmt.Errorf("seqdb: sequence %d length: %w", i, err)
+			return corrupt(db.path, i, "truncated length", err)
 		}
 		if l == 0 || l > MaxSequenceLen {
-			return fmt.Errorf("seqdb: sequence %d has invalid length %d", i, l)
+			return corrupt(db.path, i, fmt.Sprintf("invalid length %d", l), nil)
 		}
 		if cap(seq) < int(l) {
 			seq = make([]pattern.Symbol, l)
@@ -166,7 +191,7 @@ func (db *GzipDB) Scan(fn func(id int, seq []pattern.Symbol) error) error {
 		for j := range seq {
 			v, err := binary.ReadUvarint(br)
 			if err != nil {
-				return fmt.Errorf("seqdb: sequence %d symbol %d: %w", i, j, err)
+				return corrupt(db.path, i, fmt.Sprintf("truncated at symbol %d", j), err)
 			}
 			seq[j] = pattern.Symbol(v)
 		}
@@ -174,23 +199,35 @@ func (db *GzipDB) Scan(fn func(id int, seq []pattern.Symbol) error) error {
 			return err
 		}
 	}
+	// Drain to EOF: verifies the gzip footer checksum and rejects trailing
+	// garbage after the declared sequence count.
+	switch _, err := br.ReadByte(); err {
+	case io.EOF:
+	case nil:
+		return corrupt(db.path, -1, fmt.Sprintf("trailing garbage after %d sequences", db.n), nil)
+	default:
+		return corrupt(db.path, -1, "stream did not end cleanly", err)
+	}
 	db.scans++
 	return nil
 }
 
-// WriteGzipFile persists an in-memory database in the compressed format.
+// WriteGzipFile persists an in-memory database in the compressed format,
+// crash-atomically (temp file + fsync + rename, as WriteFile).
 func WriteGzipFile(path string, db *MemDB) error {
-	w, err := CreateGzipFile(path)
-	if err != nil {
-		return err
-	}
-	for _, seq := range db.seqs {
-		if err := w.Write(seq); err != nil {
-			w.f.Close()
+	return atomicWrite(path, func(tmp string) error {
+		w, err := CreateGzipFile(tmp)
+		if err != nil {
 			return err
 		}
-	}
-	return w.Close()
+		for _, seq := range db.seqs {
+			if err := w.Write(seq); err != nil {
+				w.f.Close()
+				return err
+			}
+		}
+		return w.Close()
+	})
 }
 
 // OpenAuto opens a database file of either on-disk format, dispatching on
@@ -207,7 +244,7 @@ func OpenAuto(path string) (Scanner, error) {
 		return nil, fmt.Errorf("seqdb: read magic: %w", err)
 	}
 	switch magic {
-	case diskMagic:
+	case diskMagic, diskMagicV2:
 		return OpenFile(path)
 	case gzipMagic:
 		return OpenGzipFile(path)

@@ -1,0 +1,190 @@
+package seqdb
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/pattern"
+)
+
+// failNScanner fails its first fail passes with err, then succeeds forever.
+type failNScanner struct {
+	*MemDB
+	fail int
+	err  error
+}
+
+func (s *failNScanner) Scan(fn func(id int, seq []pattern.Symbol) error) error {
+	return s.ScanContext(nil, fn)
+}
+
+func (s *failNScanner) ScanContext(ctx context.Context, fn func(id int, seq []pattern.Symbol) error) error {
+	return s.MemDB.ScanContext(ctx, func(id int, seq []pattern.Symbol) error {
+		if id == 1 && s.fail > 0 {
+			s.fail--
+			return s.err
+		}
+		return fn(id, seq)
+	})
+}
+
+func TestRetryScannerRetriesTransient(t *testing.T) {
+	inner := &failNScanner{MemDB: sampleDB(), fail: 2, err: MarkTransient(errors.New("blip"))}
+	var slept []time.Duration
+	r := &RetryScanner{Inner: inner, Sleep: func(d time.Duration) { slept = append(slept, d) }}
+
+	setups := 0
+	var ids []int
+	err := ScanPass(r, func() (func(id int, seq []pattern.Symbol) error, error) {
+		setups++
+		ids = ids[:0] // per-attempt state, rebuilt by setup
+		return func(id int, _ []pattern.Symbol) error {
+			ids = append(ids, id)
+			return nil
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setups != 3 {
+		t.Errorf("setup called %d times, want 3 (two failures + success)", setups)
+	}
+	if len(ids) != 4 {
+		t.Errorf("final attempt saw %d sequences, want 4 (no carryover)", len(ids))
+	}
+	if r.Scans() != 1 {
+		t.Errorf("Scans=%d, want 1 — only the completed pass counts", r.Scans())
+	}
+	// Backoff doubles from the 10ms default.
+	if len(slept) != 2 || slept[0] != 10*time.Millisecond || slept[1] != 20*time.Millisecond {
+		t.Errorf("slept %v, want [10ms 20ms]", slept)
+	}
+	st := r.ScanStats()
+	if st.Attempts != 3 || st.Retries != 2 || st.Transient != 2 || st.Permanent != 0 || st.Completed != 1 {
+		t.Errorf("ScanStats=%+v", st)
+	}
+}
+
+func TestRetryScannerBackoffCaps(t *testing.T) {
+	inner := &failNScanner{MemDB: sampleDB(), fail: 5, err: MarkTransient(errors.New("blip"))}
+	var slept []time.Duration
+	r := &RetryScanner{
+		Inner:      inner,
+		MaxRetries: 5,
+		BaseDelay:  400 * time.Millisecond,
+		MaxDelay:   time.Second,
+		Sleep:      func(d time.Duration) { slept = append(slept, d) },
+	}
+	if err := r.Scan(func(int, []pattern.Symbol) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{400 * time.Millisecond, 800 * time.Millisecond, time.Second, time.Second, time.Second}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("backoff[%d]=%v, want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+func TestRetryScannerDoesNotRetryPermanent(t *testing.T) {
+	boom := errors.New("disk on fire")
+	inner := &failNScanner{MemDB: sampleDB(), fail: 99, err: boom}
+	slept := 0
+	r := &RetryScanner{Inner: inner, Sleep: func(time.Duration) { slept++ }}
+	err := r.Scan(func(int, []pattern.Symbol) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v, want the permanent error", err)
+	}
+	if slept != 0 {
+		t.Error("permanent failure slept before returning")
+	}
+	st := r.ScanStats()
+	if st.Attempts != 1 || st.Permanent != 1 || st.Retries != 0 {
+		t.Errorf("ScanStats=%+v", st)
+	}
+}
+
+func TestRetryScannerExhaustsRetries(t *testing.T) {
+	blip := MarkTransient(errors.New("blip"))
+	inner := &failNScanner{MemDB: sampleDB(), fail: 99, err: blip}
+	r := &RetryScanner{Inner: inner, MaxRetries: 2, Sleep: func(time.Duration) {}}
+	err := r.Scan(func(int, []pattern.Symbol) error { return nil })
+	if err == nil {
+		t.Fatal("exhausted retries returned nil")
+	}
+	if !errors.Is(err, blip) {
+		t.Errorf("err=%v does not wrap the original failure", err)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("err=%v does not report the attempt count", err)
+	}
+	st := r.ScanStats()
+	if st.Attempts != 3 || st.Retries != 2 || st.Transient != 3 {
+		t.Errorf("ScanStats=%+v", st)
+	}
+	if r.Scans() != 0 {
+		t.Error("failed passes counted as scans")
+	}
+}
+
+func TestRetryScannerDoesNotRetryCancellation(t *testing.T) {
+	r := &RetryScanner{Inner: sampleDB(), Sleep: func(d time.Duration) { t.Error("slept on cancellation") }}
+	ctx, cancel := context.WithCancel(context.Background())
+	err := r.ScanContext(ctx, func(id int, _ []pattern.Symbol) error {
+		if id == 1 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if st := r.ScanStats(); st.Retries != 0 || st.Transient != 0 {
+		t.Errorf("cancellation counted as a failure: %+v", st)
+	}
+}
+
+func TestRetryScannerNegativeMaxRetriesDisables(t *testing.T) {
+	blip := MarkTransient(errors.New("blip"))
+	inner := &failNScanner{MemDB: sampleDB(), fail: 1, err: blip}
+	r := &RetryScanner{Inner: inner, MaxRetries: -1, Sleep: func(time.Duration) {}}
+	err := r.Scan(func(int, []pattern.Symbol) error { return nil })
+	if err == nil {
+		t.Fatal("want failure with retrying disabled")
+	}
+	if st := r.ScanStats(); st.Attempts != 1 || st.Retries != 0 {
+		t.Errorf("ScanStats=%+v", st)
+	}
+}
+
+func TestIsTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{MarkTransient(errors.New("x")), true},
+		{&CorruptError{Path: "p", Seq: 0, Msg: "bad"}, false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{syscall.EINTR, true},
+		{syscall.EAGAIN, true},
+		{syscall.EIO, true},
+		{errors.New("plain"), false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v)=%v, want %v", c.err, got, c.want)
+		}
+	}
+	if MarkTransient(nil) != nil {
+		t.Error("MarkTransient(nil) != nil")
+	}
+}

@@ -10,6 +10,7 @@
 package seqdb
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/pattern"
@@ -28,6 +29,76 @@ type Scanner interface {
 	Scans() int
 	// ResetScans zeroes the pass counter.
 	ResetScans()
+}
+
+// ContextScanner is a Scanner whose passes can be cancelled between
+// sequences. All stores in this package implement it.
+type ContextScanner interface {
+	Scanner
+	// ScanContext is Scan with cancellation checked before every sequence;
+	// an interrupted pass returns ctx.Err() and does not count as a scan.
+	ScanContext(ctx context.Context, fn func(id int, seq []pattern.Symbol) error) error
+}
+
+// ScanContext performs one cancellable pass over db. Scanners implementing
+// ContextScanner cancel natively; any other Scanner is adapted by checking
+// ctx before every callback, so cancellation always aborts within one
+// sequence. A nil ctx scans without cancellation.
+func ScanContext(ctx context.Context, db Scanner, fn func(id int, seq []pattern.Symbol) error) error {
+	if cs, ok := db.(ContextScanner); ok {
+		return cs.ScanContext(ctx, fn)
+	}
+	if ctx == nil {
+		return db.Scan(fn)
+	}
+	return db.Scan(func(id int, seq []pattern.Symbol) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fn(id, seq)
+	})
+}
+
+// PassFunc produces the per-sequence callback for one scan attempt. A
+// retrying scanner invokes it afresh at the start of every attempt, so any
+// per-pass accumulator state created inside it starts clean when a failed
+// pass is re-run. Results should be captured by closing over variables
+// assigned inside the setup.
+type PassFunc func() (func(id int, seq []pattern.Symbol) error, error)
+
+// PassScanner is implemented by scanners that can re-run a failed pass
+// (RetryScanner). ScanPassContext routes through it so consumer state is
+// rebuilt per attempt instead of being double-counted on replay.
+type PassScanner interface {
+	ScanPassContext(ctx context.Context, setup PassFunc) error
+}
+
+// ScanPass runs one logical pass of db with per-attempt state setup.
+func ScanPass(db Scanner, setup PassFunc) error {
+	return ScanPassContext(nil, db, setup)
+}
+
+// ScanPassContext runs one cancellable logical pass of db. When db
+// implements PassScanner a failed attempt may be retried, calling setup
+// again for fresh consumer state; otherwise setup is called once and the
+// pass runs unprotected.
+func ScanPassContext(ctx context.Context, db Scanner, setup PassFunc) error {
+	if ps, ok := db.(PassScanner); ok {
+		return ps.ScanPassContext(ctx, setup)
+	}
+	fn, err := setup()
+	if err != nil {
+		return err
+	}
+	return ScanContext(ctx, db, fn)
+}
+
+// ctxErr returns ctx's cancellation error, tolerating a nil ctx.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // MemDB is an in-memory sequence database. The zero value is an empty,
@@ -63,7 +134,16 @@ func (db *MemDB) Seq(i int) []pattern.Symbol { return db.seqs[i] }
 
 // Scan implements Scanner.
 func (db *MemDB) Scan(fn func(id int, seq []pattern.Symbol) error) error {
+	return db.ScanContext(nil, fn)
+}
+
+// ScanContext implements ContextScanner: cancellation is checked before
+// every sequence, and an interrupted pass does not count as a scan.
+func (db *MemDB) ScanContext(ctx context.Context, fn func(id int, seq []pattern.Symbol) error) error {
 	for i, s := range db.seqs {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		if err := fn(i, s); err != nil {
 			return err
 		}
