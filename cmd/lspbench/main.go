@@ -1,0 +1,288 @@
+// Command lspbench drives the three-phase miner over a §6-style grid of
+// synthetic workloads (internal/datagen) and emits a machine-readable
+// benchmark report, BENCH_mine.json. It is the repo's perf baseline: run it
+// before and after a change to see where the scans, candidates, and wall
+// time went.
+//
+// Usage:
+//
+//	lspbench [-quick] [-runs 3] [-seed 1] [-out BENCH_mine.json]
+//
+// Each workload is mined -runs times with telemetry enabled (reported
+// timings are the mean), then -runs times with telemetry disabled to
+// measure the collection overhead. -quick restricts the grid to the two
+// smallest workloads and two runs each — the CI configuration.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/compat"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/seqdb"
+	"repro/internal/telemetry"
+)
+
+// workload is one cell of the benchmark grid: a standard database recipe, a
+// noise level, and the mining parameters applied to the noisy copy.
+type workload struct {
+	Name string `json:"name"`
+	// quick marks the workloads kept by -quick.
+	quick bool
+
+	// Generation.
+	N              int     // sequences
+	MinLen, MaxLen int     // sequence length range
+	M              int     // alphabet size
+	NumMotifs      int     // planted motifs
+	MotifLen       int     // motif length
+	PlantProb      float64 // per-sequence plant probability
+	Alpha          float64 // uniform noise rate
+
+	// Mining.
+	MinMatch  float64
+	Delta     float64
+	PatLen    int // core.Config.MaxLen
+	MaxGap    int
+	Sample    int
+	MemBudget int
+	MaxCand   int
+	Finalizer core.Finalizer
+}
+
+// grid is the paper-shaped parameter sweep: a base protein-like workload
+// (Figure 14's neighborhood, scaled to seconds), a longer-pattern variant
+// exercising gaps, a noisier variant that swells the ambiguous region, and a
+// wide-alphabet variant stressing candidate generation.
+// Delta is set to 1e-2 throughout (vs the paper's 1e-4): with the bench's
+// small samples the paper's confidence would push the Chernoff band so wide
+// that most of the lattice lands in the ambiguous region and the run spends
+// minutes probing — the right trade-off for mining, the wrong one for a
+// benchmark that must finish in seconds.
+var grid = []workload{
+	{
+		Name: "base", quick: true,
+		N: 400, MinLen: 24, MaxLen: 40, M: 20,
+		NumMotifs: 3, MotifLen: 5, PlantProb: 0.40, Alpha: 0.05,
+		MinMatch: 0.20, Delta: 1e-2, PatLen: 6, MaxGap: 0, Sample: 200,
+		MemBudget: 500, MaxCand: 50000, Finalizer: core.BorderCollapsing,
+	},
+	{
+		Name: "noisy", quick: true,
+		N: 400, MinLen: 24, MaxLen: 40, M: 20,
+		NumMotifs: 3, MotifLen: 5, PlantProb: 0.50, Alpha: 0.15,
+		MinMatch: 0.18, Delta: 1e-2, PatLen: 6, MaxGap: 0, Sample: 200,
+		MemBudget: 500, MaxCand: 50000, Finalizer: core.BorderCollapsing,
+	},
+	{
+		Name: "long-gapped",
+		N:    2000, MinLen: 30, MaxLen: 50, M: 20,
+		NumMotifs: 2, MotifLen: 8, PlantProb: 0.50, Alpha: 0.05,
+		MinMatch: 0.25, Delta: 1e-2, PatLen: 8, MaxGap: 1, Sample: 500,
+		MemBudget: 1000, MaxCand: 50000, Finalizer: core.BorderCollapsing,
+	},
+	{
+		Name: "wide-alphabet",
+		N:    300, MinLen: 40, MaxLen: 40, M: 50,
+		NumMotifs: 2, MotifLen: 5, PlantProb: 0.50, Alpha: 0.04,
+		MinMatch: 0.20, Delta: 1e-2, PatLen: 5, MaxGap: 0, Sample: 250,
+		MemBudget: 1000, MaxCand: 50000, Finalizer: core.BorderCollapsing,
+	},
+}
+
+// result is one workload's measured outcome.
+type result struct {
+	Name      string  `json:"name"`
+	Sequences int     `json:"sequences"`
+	Alphabet  int     `json:"alphabet"`
+	Alpha     float64 `json:"alpha"`
+	MinMatch  float64 `json:"min_match"`
+	Delta     float64 `json:"delta"`
+	PatLen    int     `json:"max_len"`
+	MaxGap    int     `json:"max_gap"`
+	Sample    int     `json:"sample"`
+	MemBudget int     `json:"mem_budget"`
+
+	Runs         int     `json:"runs"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	PlainNsPerOp float64 `json:"plain_ns_per_op"`
+	// TelemetryOverheadPct compares the instrumented and uninstrumented
+	// means; small negatives are run-to-run noise.
+	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
+
+	Scans           int     `json:"scans"`
+	ProbeScans      int64   `json:"probe_scans"`
+	Phase1Ms        float64 `json:"phase1_ms"`
+	Phase2Ms        float64 `json:"phase2_ms"`
+	Phase3Ms        float64 `json:"phase3_ms"`
+	SequencesPerSec float64 `json:"sequences_per_sec"`
+	PeakCandidates  int64   `json:"peak_candidates"`
+	Frequent        int     `json:"frequent"`
+	Border          int     `json:"border"`
+
+	// Telemetry is the last instrumented run's full snapshot.
+	Telemetry telemetry.Snapshot `json:"telemetry"`
+}
+
+// report is the BENCH_mine.json document.
+type report struct {
+	Schema    string   `json:"schema"`
+	Go        string   `json:"go"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Quick     bool     `json:"quick"`
+	Seed      int64    `json:"seed"`
+	Workloads []result `json:"workloads"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "run only the small workloads, two runs each (the CI configuration)")
+	runs := flag.Int("runs", 3, "mining runs per workload (reported timings are the mean)")
+	seed := flag.Int64("seed", 1, "random seed for generation and sampling")
+	out := flag.String("out", "BENCH_mine.json", "output file (- for stdout)")
+	flag.Parse()
+
+	if *runs < 1 {
+		fatal(fmt.Errorf("runs %d < 1", *runs))
+	}
+	if *quick && *runs > 2 {
+		*runs = 2
+	}
+
+	rep := report{
+		Schema: "lspbench/v1",
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+		Quick:  *quick,
+		Seed:   *seed,
+	}
+	for _, w := range grid {
+		if *quick && !w.quick {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "lspbench: %s (%d sequences, m=%d, %d runs)\n", w.Name, w.N, w.M, *runs)
+		r, err := bench(w, *runs, *seed)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", w.Name, err))
+		}
+		rep.Workloads = append(rep.Workloads, r)
+	}
+
+	var f *os.File
+	if *out == "-" {
+		f = os.Stdout
+	} else {
+		var err error
+		f, err = os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "lspbench: wrote %s\n", *out)
+	}
+}
+
+// bench generates the workload's noisy database once, then mines it
+// runs times with telemetry and runs times without.
+func bench(w workload, runs int, seed int64) (result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	standard, _, err := datagen.Protein(datagen.ProteinConfig{
+		N: w.N, M: w.M, MinLen: w.MinLen, MaxLen: w.MaxLen,
+		NumMotifs: w.NumMotifs, MotifLen: w.MotifLen, PlantProb: w.PlantProb,
+	}, rng)
+	if err != nil {
+		return result{}, err
+	}
+	db, err := datagen.ApplyUniformNoise(standard, w.M, w.Alpha, rng)
+	if err != nil {
+		return result{}, err
+	}
+	c, err := compat.UniformNoise(w.M, w.Alpha)
+	if err != nil {
+		return result{}, err
+	}
+
+	mine := func(metrics *telemetry.Metrics, runSeed int64) (*core.Result, time.Duration, error) {
+		start := time.Now()
+		res, err := core.Mine(db, c, core.Config{
+			MinMatch:              w.MinMatch,
+			Delta:                 w.Delta,
+			SampleSize:            w.Sample,
+			MaxLen:                w.PatLen,
+			MaxGap:                w.MaxGap,
+			MaxCandidatesPerLevel: w.MaxCand,
+			MemBudget:             w.MemBudget,
+			Finalizer:             w.Finalizer,
+			Rng:                   rand.New(rand.NewSource(runSeed)),
+			Metrics:               metrics,
+		})
+		return res, time.Since(start), err
+	}
+
+	r := result{
+		Name: w.Name, Sequences: w.N, Alphabet: w.M, Alpha: w.Alpha,
+		MinMatch: w.MinMatch, Delta: w.Delta, PatLen: w.PatLen, MaxGap: w.MaxGap,
+		Sample: w.Sample, MemBudget: w.MemBudget, Runs: runs,
+	}
+	var instrumented, plain time.Duration
+	for i := 0; i < runs; i++ {
+		// The same per-run seed drives the instrumented and plain runs, so
+		// both sequences of runs mine identical samples.
+		runSeed := seed + int64(i)
+		metrics := &telemetry.Metrics{}
+		res, d, err := mine(metrics, runSeed)
+		if err != nil {
+			return result{}, err
+		}
+		instrumented += d
+		if i == runs-1 {
+			snap := metrics.Snapshot()
+			if sr, ok := seqdb.Scanner(db).(seqdb.StatsReporter); ok {
+				snap.Retry = sr.ScanStats()
+			}
+			r.Telemetry = snap
+			r.Scans = res.Scans
+			r.ProbeScans = snap.ProbeScans
+			r.Phase1Ms = float64(res.Phase1Time.Microseconds()) / 1000
+			r.Phase2Ms = float64(res.Phase2Time.Microseconds()) / 1000
+			r.Phase3Ms = float64(res.Phase3Time.Microseconds()) / 1000
+			r.SequencesPerSec = snap.SequencesPerSec
+			r.PeakCandidates = snap.PeakCandidates
+			r.Frequent = res.Frequent.Len()
+			r.Border = res.Border.Len()
+		}
+		if _, d, err := mine(nil, runSeed); err != nil {
+			return result{}, err
+		} else {
+			plain += d
+		}
+	}
+	r.NsPerOp = float64(instrumented.Nanoseconds()) / float64(runs)
+	r.PlainNsPerOp = float64(plain.Nanoseconds()) / float64(runs)
+	if r.PlainNsPerOp > 0 {
+		r.TelemetryOverheadPct = 100 * (r.NsPerOp - r.PlainNsPerOp) / r.PlainNsPerOp
+	}
+	return r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lspbench:", err)
+	os.Exit(1)
+}

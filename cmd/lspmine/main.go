@@ -7,7 +7,13 @@
 //	lspmine -db test.lsq -matrix compat.txt -min-match 0.01 \
 //	        [-max-len 8] [-max-gap 1] [-sample 1000] [-delta 1e-4] \
 //	        [-budget 10000] [-finalizer collapse|levelwise|none] [-seed 1] \
-//	        [-retries 3] [-all] [-v]
+//	        [-retries 3] [-all] [-v] [-metrics json|text] \
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -metrics collects pipeline telemetry (per-phase scan traffic and wall
+// time, lattice and probe counters) and prints it to stderr; the same
+// snapshot rides inside -json reports as the "telemetry" object. -cpuprofile
+// and -memprofile write pprof profiles for offline analysis.
 //
 // SIGINT/SIGTERM cancel the run cleanly: the partial result (phase reached,
 // scans completed) is reported instead of dying mid-scan. -retries wraps the
@@ -23,12 +29,15 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"repro/internal/compat"
 	"repro/internal/core"
 	"repro/internal/pattern"
 	"repro/internal/seqdb"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -47,8 +56,40 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for sampling")
 	all := flag.Bool("all", false, "print every frequent pattern, not only the border")
 	jsonOut := flag.Bool("json", false, "emit a JSON report instead of text")
+	metricsOut := flag.String("metrics", "", "collect pipeline telemetry and print it to stderr: json or text")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	verbose := flag.Bool("v", false, "print phase statistics")
 	flag.Parse()
+
+	switch *metricsOut {
+	case "", "json", "text":
+	default:
+		fatal(fmt.Errorf("unknown -metrics format %q (want json or text)", *metricsOut))
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *dbPath == "" || *matrixPath == "" {
 		flag.Usage()
@@ -100,6 +141,10 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var metrics *telemetry.Metrics
+	if *metricsOut != "" {
+		metrics = &telemetry.Metrics{}
+	}
 	res, err := mine(ctx, db, c, core.Config{
 		MinMatch:              *minMatch,
 		Delta:                 *delta,
@@ -110,12 +155,16 @@ func main() {
 		MemBudget:             *budget,
 		Finalizer:             fin,
 		Rng:                   rand.New(rand.NewSource(*seed)),
+		Metrics:               metrics,
 	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			reportInterrupted(err, res, db)
 		}
 		fatal(err)
+	}
+	if metrics != nil {
+		defer writeMetrics(metrics, res, *metricsOut)
 	}
 
 	a := pattern.GenericAlphabet(c.Size())
@@ -152,6 +201,22 @@ func main() {
 	fmt.Printf("%s patterns (%d):\n", label, set.Len())
 	for _, p := range set.Patterns() {
 		fmt.Println("  ", a.Format(p))
+	}
+}
+
+// writeMetrics renders the run's telemetry snapshot (with the scanner's
+// retry counters folded in) to stderr, keeping stdout clean for the report.
+func writeMetrics(m *telemetry.Metrics, res *core.Result, format string) {
+	snap := m.Snapshot()
+	snap.Retry = res.ScanStats
+	var err error
+	if format == "json" {
+		err = snap.WriteJSON(os.Stderr)
+	} else {
+		err = snap.WriteText(os.Stderr)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lspmine: metrics:", err)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/miner"
 	"repro/internal/pattern"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes a finalization run.
@@ -39,6 +40,9 @@ type Config struct {
 	// Probe (miner.MatchDBValuerContext) so cancellation also lands
 	// mid-scan, within one sequence.
 	Ctx context.Context
+	// Metrics, when non-nil, receives probe telemetry (probe scans, batch
+	// sizes, probed layer choices). Nil disables collection.
+	Metrics *telemetry.Metrics
 }
 
 // interrupted returns a wrapped cancellation error if cfg.Ctx is done.
@@ -122,7 +126,9 @@ func Finalize(cfg Config, sampleFrequent, ambiguous *pattern.Set, pick PickFunc)
 		}
 		res.Scans++
 		res.Probed += len(batch)
+		cfg.Metrics.ProbeScan(len(batch))
 		for i, p := range batch {
+			cfg.Metrics.ProbeLayer(p.K())
 			res.Exact[p.Key()] = values[i]
 			pending.Remove(p)
 			if values[i] >= cfg.MinMatch {

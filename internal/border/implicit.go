@@ -130,7 +130,9 @@ func CollapseImplicit(cfg Config, lower, upper *pattern.Set) (*Result, error) {
 		}
 		res.Scans++
 		res.Probed += len(batch)
+		cfg.Metrics.ProbeScan(len(batch))
 		for i, p := range batch {
+			cfg.Metrics.ProbeLayer(p.K())
 			res.Exact[p.Key()] = values[i]
 			if values[i] >= cfg.MinMatch {
 				confirmed.Add(p)

@@ -22,12 +22,24 @@ func Epsilon(spread, delta float64, n int) float64 {
 
 // SampleSize returns the smallest n for which Epsilon(spread, delta, n) <= eps
 // — the planning inverse of Epsilon, used to size a sample for a target bound.
+// The result is clamped to [1, math.MaxInt]: Epsilon(·, ·, 0) is infinite, so
+// no n below 1 is ever sufficient, and for extreme eps/delta the unclamped
+// value exceeds the int range (an out-of-range float→int conversion is
+// implementation-defined in Go, so it must never reach the conversion).
 func SampleSize(spread, delta, eps float64) int {
 	if eps <= 0 {
 		return math.MaxInt
 	}
-	n := spread * spread * math.Log(1/delta) / (2 * eps * eps)
-	return int(math.Ceil(n))
+	n := math.Ceil(spread * spread * math.Log(1/delta) / (2 * eps * eps))
+	// float64(math.MaxInt) is exactly 2^63; anything at or above it (or NaN,
+	// from 0·∞ at degenerate inputs) saturates.
+	if math.IsNaN(n) || n >= float64(math.MaxInt) {
+		return math.MaxInt
+	}
+	if n < 1 {
+		return 1
+	}
+	return int(n)
 }
 
 // RestrictedSpread implements Claim 4.2: the match of a pattern can never

@@ -56,6 +56,34 @@ func TestSampleSizeInvertsEpsilon(t *testing.T) {
 	}
 }
 
+// TestSampleSizeExtremes drives SampleSize into the regions where the
+// unclamped float exceeds the int range — an implementation-defined
+// conversion before the clamp was added.
+func TestSampleSizeExtremes(t *testing.T) {
+	for _, tc := range []struct {
+		name               string
+		spread, delta, eps float64
+		want               int
+	}{
+		{"tiny eps overflows", 1, 1e-4, 1e-12, math.MaxInt},
+		{"tiny delta and eps overflow", 1, 1e-300, 1e-9, math.MaxInt},
+		{"denormal eps", 1, 0.5, math.SmallestNonzeroFloat64, math.MaxInt},
+		{"negative eps unattainable", 1, 0.5, -1, math.MaxInt},
+		{"zero spread still needs one sample", 0, 0.5, 0.1, 1},
+		{"huge eps needs one sample", 1, 0.5, 100, 1},
+		{"NaN guard: zero spread at delta=0", 0, 0, 0.1, math.MaxInt},
+	} {
+		if got := SampleSize(tc.spread, tc.delta, tc.eps); got != tc.want {
+			t.Errorf("%s: SampleSize(%v,%v,%v) = %d, want %d",
+				tc.name, tc.spread, tc.delta, tc.eps, got, tc.want)
+		}
+		// Whatever comes out must be a usable sample size.
+		if got := SampleSize(tc.spread, tc.delta, tc.eps); got < 1 {
+			t.Errorf("%s: non-positive sample size %d", tc.name, got)
+		}
+	}
+}
+
 func TestRestrictedSpread(t *testing.T) {
 	// §4.1 example: matches of d1 and d2 are 0.1 and 0.05 ⇒ R(d1 * d2)=0.05.
 	symbolMatch := []float64{0.1, 0.05, 0.9}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/sampling"
 	"repro/internal/seqdb"
 	"repro/internal/support"
+	"repro/internal/telemetry"
 )
 
 // Finalizer selects the Phase 3 strategy.
@@ -101,6 +102,12 @@ type Config struct {
 	Workers int
 	// Rng drives the sampling; required for reproducibility.
 	Rng *rand.Rand
+	// Metrics, when non-nil, collects pipeline telemetry: per-phase scan
+	// traffic and wall time, sample size, lattice and probe counters. The
+	// database is transparently wrapped to attribute scan traffic to the
+	// phase that caused it. Nil (the default) disables collection entirely —
+	// the instrumented paths cost one nil check each.
+	Metrics *telemetry.Metrics
 }
 
 // probeValuer picks the sequential or parallel counting kernel, both
@@ -193,6 +200,9 @@ type Result struct {
 	// implements seqdb.StatsReporter (e.g. a seqdb.RetryScanner); zero
 	// otherwise.
 	ScanStats seqdb.ScanStats
+	// Telemetry aliases Config.Metrics for the run (nil when collection was
+	// disabled); render it with Telemetry.Snapshot().
+	Telemetry *telemetry.Metrics
 }
 
 // captureScanStats copies the scanner's retry counters into the result when
@@ -232,7 +242,13 @@ func MineContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cfg Con
 	if db.Len() == 0 {
 		return nil, fmt.Errorf("core: empty database")
 	}
-	res := &Result{}
+	if cfg.Metrics != nil {
+		// The wrapper attributes every delivered sequence and completed pass
+		// to whatever phase is current when it happens.
+		db = telemetry.NewScanner(db, cfg.Metrics)
+		defer cfg.Metrics.SetPhase(0)
+	}
+	res := &Result{Telemetry: cfg.Metrics}
 	fail := func(phase int, err error) (*Result, error) {
 		res.PhaseReached = phase
 		res.captureScanStats(db)
@@ -241,26 +257,32 @@ func MineContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cfg Con
 
 	// Phase 1: symbol matches + sample, one scan.
 	res.PhaseReached = 1
+	cfg.Metrics.SetPhase(1)
 	start := time.Now()
 	symbolMatch, sample, err := Phase1Context(ctx, db, c, cfg.SampleSize, cfg.Rng)
+	cfg.Metrics.PhaseTime(1, time.Since(start))
 	if err != nil {
 		return fail(1, err)
 	}
 	res.SymbolMatch = symbolMatch
 	res.SampleSize = len(sample)
+	cfg.Metrics.SampleDrawn(len(sample))
 	res.Scans = 1
 	res.Phase1Time = time.Since(start)
 
 	// Phase 2: sample mining with Chernoff classification.
 	res.PhaseReached = 2
+	cfg.Metrics.SetPhase(2)
 	start = time.Now()
 	opts := miner.Options{
 		MaxLen:                cfg.MaxLen,
 		MaxGap:                cfg.MaxGap,
 		MaxCandidatesPerLevel: cfg.MaxCandidatesPerLevel,
+		Metrics:               cfg.Metrics,
 	}
 	res.Phase2, err = miner.SampleChernoffContext(ctx, c.Size(), miner.MatchSampleValuer(c, sample),
 		symbolMatch, cfg.MinMatch, cfg.Delta, len(sample), opts)
+	cfg.Metrics.PhaseTime(2, time.Since(start))
 	if err != nil {
 		return fail(2, err)
 	}
@@ -268,11 +290,13 @@ func MineContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cfg Con
 
 	// Phase 3: finalize the border against the full database.
 	res.PhaseReached = 3
+	cfg.Metrics.SetPhase(3)
 	start = time.Now()
 	if cfg.Finalizer == None || res.Phase2.Ambiguous.Len() == 0 {
 		res.Frequent = res.Phase2.Frequent.Clone()
 		res.Border = pattern.Border(res.Frequent)
 		res.Phase3Time = time.Since(start)
+		cfg.Metrics.PhaseTime(3, res.Phase3Time)
 		res.captureScanStats(db)
 		return res, nil
 	}
@@ -281,6 +305,7 @@ func MineContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cfg Con
 		MemBudget: cfg.MemBudget,
 		Probe:     cfg.probeValuer(ctx, db, c),
 		Ctx:       ctx,
+		Metrics:   cfg.Metrics,
 	}
 	switch cfg.Finalizer {
 	case BorderCollapsing:
@@ -290,6 +315,7 @@ func MineContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cfg Con
 	case BorderCollapsingImplicit:
 		res.Phase3, err = border.CollapseImplicit(probeCfg, implicitLower(res.Phase2), res.Phase2.Ceiling)
 	}
+	cfg.Metrics.PhaseTime(3, time.Since(start))
 	if err != nil {
 		return fail(3, err)
 	}
@@ -334,6 +360,7 @@ func Phase1(db seqdb.Scanner, c compat.Source, n int, rng *rand.Rand) ([]float64
 func Phase1Context(ctx context.Context, db seqdb.Scanner, c compat.Source, n int, rng *rand.Rand) ([]float64, [][]pattern.Symbol, error) {
 	var acc *match.SymbolAccumulator
 	var sampler *sampling.Sequential
+	var delivered int
 	err := seqdb.ScanPassContext(ctx, db, func() (func(id int, seq []pattern.Symbol) error, error) {
 		a := match.NewSymbolAccumulator(c)
 		s, err := sampling.NewSequential(n, db.Len(), rng)
@@ -341,7 +368,9 @@ func Phase1Context(ctx context.Context, db seqdb.Scanner, c compat.Source, n int
 			return nil, err
 		}
 		acc, sampler = a, s
+		delivered = 0
 		return func(id int, seq []pattern.Symbol) error {
+			delivered++
 			a.Observe(seq)
 			s.Offer(seq)
 			return nil
@@ -350,7 +379,9 @@ func Phase1Context(ctx context.Context, db seqdb.Scanner, c compat.Source, n int
 	if err != nil {
 		return nil, nil, err
 	}
-	return acc.Matches(db.Len()), sampler.Samples(), nil
+	// Average over the sequences the scan delivered (db.Len() may be stale
+	// for some scanners; the stream is the ground truth).
+	return acc.Matches(delivered), sampler.Samples(), nil
 }
 
 // Exhaustive mines the exact frequent set of db under the match measure with

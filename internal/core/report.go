@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/pattern"
+	"repro/internal/telemetry"
 )
 
 // Report is a serializable summary of a mining run, for downstream tooling.
@@ -19,6 +20,9 @@ type Report struct {
 	Scans      int             `json:"scans"`
 	Frequent   []PatternReport `json:"frequent"`
 	Phase      PhaseReport     `json:"phases"`
+	// Telemetry is the run's metrics snapshot, present when the run was
+	// configured with a telemetry.Metrics collector.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 // PatternReport is one frequent pattern.
@@ -72,6 +76,11 @@ func NewReport(res *Result, minMatch float64, sequences int, alphabet *pattern.A
 	}
 	if res.Phase3 != nil {
 		rep.Phase.ProbedPatterns = res.Phase3.Probed
+	}
+	if res.Telemetry != nil {
+		snap := res.Telemetry.Snapshot()
+		snap.Retry = res.ScanStats
+		rep.Telemetry = &snap
 	}
 	render := func(p pattern.Pattern) string {
 		if alphabet != nil {

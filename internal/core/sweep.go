@@ -12,6 +12,7 @@ import (
 	"repro/internal/miner"
 	"repro/internal/pattern"
 	"repro/internal/seqdb"
+	"repro/internal/telemetry"
 )
 
 // MineSweep is the window-sweep variant of the three-phase algorithm,
@@ -47,7 +48,11 @@ func MineSweepContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cf
 	if db.Len() == 0 {
 		return nil, fmt.Errorf("core: empty database")
 	}
-	res := &Result{}
+	if cfg.Metrics != nil {
+		db = telemetry.NewScanner(db, cfg.Metrics)
+		defer cfg.Metrics.SetPhase(0)
+	}
+	res := &Result{Telemetry: cfg.Metrics}
 	fail := func(phase int, err error) (*Result, error) {
 		res.PhaseReached = phase
 		res.captureScanStats(db)
@@ -56,19 +61,23 @@ func MineSweepContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cf
 
 	// Phase 1: symbol matches + sample, one scan.
 	res.PhaseReached = 1
+	cfg.Metrics.SetPhase(1)
 	start := time.Now()
 	symbolMatch, sample, err := Phase1Context(ctx, db, c, cfg.SampleSize, cfg.Rng)
+	cfg.Metrics.PhaseTime(1, time.Since(start))
 	if err != nil {
 		return fail(1, err)
 	}
 	n := len(sample)
 	res.SymbolMatch = symbolMatch
 	res.SampleSize = n
+	cfg.Metrics.SampleDrawn(n)
 	res.Scans = 1
 	res.Phase1Time = time.Since(start)
 
 	// Phase 2: window sweep over the sample with Chernoff classification.
 	res.PhaseReached = 2
+	cfg.Metrics.SetPhase(2)
 	start = time.Now()
 	cls, err := chernoff.NewClassifier(cfg.MinMatch, cfg.Delta, n)
 	if err != nil {
@@ -99,8 +108,10 @@ func MineSweepContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cf
 		} else {
 			p2.Labels[key] = chernoff.Infrequent
 		}
+		cfg.Metrics.Classified(int(p2.Labels[key]))
 	}
 	p2.CandidatesPerLevel = append(p2.CandidatesPerLevel, c.Size())
+	cfg.Metrics.LevelEvaluated(c.Size())
 	p2.AlivePerLevel = append(p2.AlivePerLevel, aliveSymbols)
 	if eps := cls.Epsilon(maxSym); eps >= cfg.MinMatch {
 		return fail(2, fmt.Errorf("core: sample too small for sweep mining (ε=%v >= min_match=%v); grow the sample or use Mine", eps, cfg.MinMatch))
@@ -118,6 +129,7 @@ func MineSweepContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cf
 		}
 		alive = 0
 		p2.CandidatesPerLevel = append(p2.CandidatesPerLevel, len(sums))
+		cfg.Metrics.LevelEvaluated(len(sums))
 		for key, sum := range sums {
 			v := sum / float64(n)
 			p, err := pattern.ParseKey(key)
@@ -141,6 +153,7 @@ func MineSweepContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cf
 				p2.Ambiguous.Add(p)
 				alive++
 			}
+			cfg.Metrics.Classified(int(p2.Labels[key]))
 		}
 		p2.AlivePerLevel = append(p2.AlivePerLevel, alive)
 	}
@@ -150,14 +163,17 @@ func MineSweepContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cf
 	p2.Ceiling = pattern.Border(combined)
 	res.Phase2 = p2
 	res.Phase2Time = time.Since(start)
+	cfg.Metrics.PhaseTime(2, res.Phase2Time)
 
 	// Phase 3: identical finalization to Mine.
 	res.PhaseReached = 3
+	cfg.Metrics.SetPhase(3)
 	start = time.Now()
 	if cfg.Finalizer == None || p2.Ambiguous.Len() == 0 {
 		res.Frequent = p2.Frequent.Clone()
 		res.Border = pattern.Border(res.Frequent)
 		res.Phase3Time = time.Since(start)
+		cfg.Metrics.PhaseTime(3, res.Phase3Time)
 		res.captureScanStats(db)
 		return res, nil
 	}
@@ -166,6 +182,7 @@ func MineSweepContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cf
 		MemBudget: cfg.MemBudget,
 		Probe:     cfg.probeValuer(ctx, db, c),
 		Ctx:       ctx,
+		Metrics:   cfg.Metrics,
 	}
 	switch cfg.Finalizer {
 	case BorderCollapsing:
@@ -175,6 +192,7 @@ func MineSweepContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cf
 	case BorderCollapsingImplicit:
 		res.Phase3, err = border.CollapseImplicit(probeCfg, implicitLower(p2), p2.Ceiling)
 	}
+	cfg.Metrics.PhaseTime(3, time.Since(start))
 	if err != nil {
 		return fail(3, err)
 	}

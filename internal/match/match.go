@@ -97,12 +97,19 @@ func Sequence(c compat.Source, p pattern.Pattern, seq []pattern.Symbol) float64 
 // DB computes the database value (average over sequences) of each pattern in
 // one full scan (Definition 3.7 generalized over a Measure). The result is
 // indexed like ps. An empty database yields zeros.
+//
+// The average divides by the number of sequences the scan actually
+// delivered, not by Len(): for scanners whose Len() is stale or an estimate,
+// trusting the stream keeps the value exact instead of silently skewing
+// every match.
 func DB(db interface {
 	Scan(func(id int, seq []pattern.Symbol) error) error
 	Len() int
 }, meas Measure, ps []pattern.Pattern) ([]float64, error) {
 	sums := make([]float64, len(ps))
+	delivered := 0
 	err := db.Scan(func(id int, seq []pattern.Symbol) error {
+		delivered++
 		for i, p := range ps {
 			sums[i] += meas.Value(p, seq)
 		}
@@ -111,9 +118,9 @@ func DB(db interface {
 	if err != nil {
 		return nil, err
 	}
-	if n := db.Len(); n > 0 {
+	if delivered > 0 {
 		for i := range sums {
-			sums[i] /= float64(n)
+			sums[i] /= float64(delivered)
 		}
 	}
 	return sums, nil

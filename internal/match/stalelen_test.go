@@ -1,0 +1,48 @@
+package match
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compat"
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+)
+
+// staleLen delivers the true stream but lies about Len() — a scanner whose
+// metadata is stale or an estimate. DB must average over the delivered
+// count.
+type staleLen struct {
+	*seqdb.MemDB
+	reported int
+}
+
+func (s *staleLen) Len() int { return s.reported }
+
+func TestDBAveragesOverDeliveredSequences(t *testing.T) {
+	c := compat.Fig2()
+	seqs := [][]pattern.Symbol{
+		{0, 1, 2, 0},
+		{3, 1, 0},
+		{2, 3, 1, 0},
+	}
+	ps := []pattern.Pattern{
+		pattern.MustNew(0),
+		pattern.MustNew(1, 0),
+	}
+	want, err := DB(seqdb.NewMemDB(seqs), NewMatch(c), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, reported := range []int{6, 1, 0} {
+		got, err := DB(&staleLen{seqdb.NewMemDB(seqs), reported}, NewMatch(c), ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Errorf("Len=%d pattern %v: got %v, want %v", reported, ps[i], got[i], want[i])
+			}
+		}
+	}
+}

@@ -103,6 +103,7 @@ func (r *run) mine(m int) error {
 	}
 	r.res.Scans++
 	r.res.Counted += len(level)
+	r.opts.Metrics.LevelEvaluated(len(level))
 	symMatch := make(map[pattern.Symbol]float64, m)
 	for i, p := range level {
 		freq := values[i] >= r.minMatch
@@ -142,6 +143,7 @@ func (r *run) mine(m int) error {
 			}
 			r.res.Scans++
 			r.res.Counted += len(batch)
+			r.opts.Metrics.LevelEvaluated(len(batch))
 		}
 
 		// Lookahead outcomes first, so a chain confirmed in this scan can

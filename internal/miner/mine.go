@@ -44,13 +44,18 @@ func DBValuer(db seqdb.Scanner, meas match.Measure) Valuer {
 
 // DBValuerContext is DBValuer with cancellation checked between sequences.
 // The per-pass sums are rebuilt per attempt, so a retrying scanner can
-// re-run a failed pass without double-counting.
+// re-run a failed pass without double-counting. Averages divide by the
+// number of sequences the pass delivered, not db.Len(), so a scanner with a
+// stale or estimated Len() cannot skew the values.
 func DBValuerContext(ctx context.Context, db seqdb.Scanner, meas match.Measure) Valuer {
 	return func(ps []pattern.Pattern) ([]float64, error) {
 		var sums []float64
+		var delivered int
 		err := seqdb.ScanPassContext(ctx, db, func() (func(id int, seq []pattern.Symbol) error, error) {
 			sums = make([]float64, len(ps))
+			delivered = 0
 			return func(id int, seq []pattern.Symbol) error {
+				delivered++
 				for i, p := range ps {
 					sums[i] += meas.Value(p, seq)
 				}
@@ -60,9 +65,9 @@ func DBValuerContext(ctx context.Context, db seqdb.Scanner, meas match.Measure) 
 		if err != nil {
 			return nil, err
 		}
-		if n := db.Len(); n > 0 {
+		if delivered > 0 {
 			for i := range sums {
-				sums[i] /= float64(n)
+				sums[i] /= float64(delivered)
 			}
 		}
 		return sums, nil
@@ -78,6 +83,8 @@ func MatchDBValuer(db seqdb.Scanner, c compat.Source) Valuer {
 // MatchDBValuerContext is MatchDBValuer with cancellation checked between
 // sequences. The compiled set is rebuilt per scan attempt, so a retrying
 // scanner can re-run a failed pass without double-counting observations.
+// Averages divide by the set's observed-sequence count — the sequences the
+// pass delivered — not db.Len(), so a stale Len() cannot skew the values.
 func MatchDBValuerContext(ctx context.Context, db seqdb.Scanner, c compat.Source) Valuer {
 	return func(ps []pattern.Pattern) ([]float64, error) {
 		var set *match.CompiledSet
@@ -95,7 +102,7 @@ func MatchDBValuerContext(ctx context.Context, db seqdb.Scanner, c compat.Source
 		if err != nil {
 			return nil, err
 		}
-		return set.Matches(db.Len()), nil
+		return set.Matches(0), nil // n <= 0: divide by observed count
 	}
 }
 

@@ -110,10 +110,12 @@ func ParallelMatchDBValuerContext(ctx context.Context, db seqdb.Scanner, c compa
 			return nil, err
 		}
 
-		n := db.Len()
+		// Every worker set observed every delivered sequence, so its internal
+		// observation count is the delivered-sequence count — divide by that,
+		// not db.Len(), which may be stale for some scanners.
 		out := make([]float64, 0, len(ps))
 		for i := 0; i < w; i++ {
-			part := sets[i].Matches(n)
+			part := sets[i].Matches(0)
 			if len(part) != bounds[i+1]-bounds[i] {
 				return nil, fmt.Errorf("miner: worker %d returned %d values", i, len(part))
 			}

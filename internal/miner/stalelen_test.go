@@ -1,0 +1,65 @@
+package miner
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compat"
+	"repro/internal/match"
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+)
+
+// staleLenDB wraps a MemDB but reports a Len() that disagrees with the
+// stream it delivers — the shape of a scanner whose metadata is stale or an
+// estimate. Averaging must trust the delivered stream, not Len().
+type staleLenDB struct {
+	*seqdb.MemDB
+	reported int
+}
+
+func (s *staleLenDB) Len() int { return s.reported }
+
+// valuerFixture returns the candidate batch and the reference values
+// computed over the true stream.
+func valuerFixture(t *testing.T) (*compat.Matrix, []pattern.Pattern, []float64) {
+	t.Helper()
+	c := compat.Fig2()
+	ps := []pattern.Pattern{
+		pattern.MustNew(d1),
+		pattern.MustNew(d2, d1),
+		pattern.MustNew(d3, et, d2),
+		pattern.MustNew(d2),
+		pattern.MustNew(d4),
+	}
+	want, err := match.DB(fig4DB(), match.NewMatch(c), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ps, want
+}
+
+func TestValuersIgnoreStaleLen(t *testing.T) {
+	c, ps, want := valuerFixture(t)
+	// Len() claims double (and, separately, half) the true sequence count.
+	for _, reported := range []int{8, 2} {
+		valuers := map[string]Valuer{
+			"DBValuer":                DBValuer(&staleLenDB{fig4DB(), reported}, match.NewMatch(c)),
+			"MatchDBValuer":           MatchDBValuer(&staleLenDB{fig4DB(), reported}, c),
+			"ParallelMatchDBValuer-1": ParallelMatchDBValuer(&staleLenDB{fig4DB(), reported}, c, 1),
+			"ParallelMatchDBValuer-3": ParallelMatchDBValuer(&staleLenDB{fig4DB(), reported}, c, 3),
+		}
+		for name, v := range valuers {
+			got, err := v(ps)
+			if err != nil {
+				t.Fatalf("%s (Len=%d): %v", name, reported, err)
+			}
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-12 {
+					t.Errorf("%s (Len=%d) pattern %v: got %v, want %v (skewed by stale Len)",
+						name, reported, ps[i], got[i], want[i])
+				}
+			}
+		}
+	}
+}

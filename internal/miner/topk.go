@@ -58,12 +58,15 @@ func TopK(m int, valuer Valuer, k int, batch int, opts Options) (*TopKResult, er
 	}
 	res.Scans++
 	res.Evaluated += len(level1)
+	opts.Metrics.LevelEvaluated(len(level1))
 
+	// The Apriori upper bound of every candidate is its generating parent's
+	// value, carried directly in the frontier entries (scored.value) — no
+	// key-indexed value map is kept, so memory stays proportional to the
+	// frontier, not to every pattern ever evaluated.
 	top := &topkHeap{} // min-heap of the current best k
 	frontier := &boundHeap{}
-	valueOf := make(map[string]float64, m)
 	for i, p := range level1 {
-		valueOf[p.Key()] = values[i]
 		pushTop(top, scored{p, values[i]}, k)
 		heap.Push(frontier, scored{p, values[i]}) // bound = own value
 	}
@@ -112,12 +115,12 @@ func TopK(m int, valuer Valuer, k int, batch int, opts Options) (*TopKResult, er
 		}
 		res.Scans++
 		res.Evaluated += len(cands)
+		opts.Metrics.LevelEvaluated(len(cands))
 		for i, q := range cands {
 			v := values[i]
 			if v > bounds[i]+1e-9 {
 				return nil, fmt.Errorf("miner: measure violated the Apriori bound at %v (%v > %v)", q, v, bounds[i])
 			}
-			valueOf[q.Key()] = v
 			pushTop(top, scored{q, v}, k)
 			if v > 0 && q.Len() < opts.MaxLen {
 				heap.Push(frontier, scored{q, v})

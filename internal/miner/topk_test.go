@@ -3,6 +3,7 @@ package miner
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/compat"
@@ -88,6 +89,66 @@ func TestTopKRandomized(t *testing.T) {
 			if math.Abs(res.Values[i]-want[i]) > 1e-9 {
 				t.Fatalf("trial %d k=%d rank %d: %v vs %v", trial, k, i, res.Values[i], want[i])
 			}
+		}
+	}
+}
+
+// TestTopKSeededWorkloadExact pins the full result — patterns and values,
+// in order — on a seeded workload against an independent reference, so any
+// change to the frontier bookkeeping (e.g. carrying Apriori bounds in the
+// frontier entries instead of a side map) is proven behavior-identical.
+func TestTopKSeededWorkloadExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	const m, maxLen, maxGap, k = 5, 4, 1, 20
+	c, err := compat.UniformNoise(m, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := make([][]pattern.Symbol, 30)
+	for i := range seqs {
+		s := make([]pattern.Symbol, 6+rng.Intn(6))
+		for j := range s {
+			s[j] = pattern.Symbol(rng.Intn(m))
+		}
+		seqs[i] = s
+	}
+
+	res, err := TopK(m, MatchDBValuer(seqdb.NewMemDB(seqs), c), k, 0, Options{MaxLen: maxLen, MaxGap: maxGap})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: evaluate the whole space, order by (value desc, key asc) —
+	// TopK's documented tie-break.
+	space := enumerateSpace(m, maxLen, maxGap)
+	vals, err := match.DB(seqdb.NewMemDB(seqs), match.NewMatch(c), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type ref struct {
+		key string
+		v   float64
+	}
+	refs := make([]ref, len(space))
+	for i, p := range space {
+		refs[i] = ref{p.Key(), vals[i]}
+	}
+	sort.Slice(refs, func(a, b int) bool {
+		if refs[a].v != refs[b].v {
+			return refs[a].v > refs[b].v
+		}
+		return refs[a].key < refs[b].key
+	})
+
+	if len(res.Patterns) != k {
+		t.Fatalf("got %d patterns, want %d", len(res.Patterns), k)
+	}
+	for i := 0; i < k; i++ {
+		if got, want := res.Patterns[i].Key(), refs[i].key; got != want {
+			t.Errorf("rank %d: pattern %s, want %s", i, got, want)
+		}
+		if got, want := res.Values[i], refs[i].v; math.Abs(got-want) > 1e-12 {
+			t.Errorf("rank %d: value %v, want %v", i, got, want)
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"repro/internal/pattern"
 )
@@ -171,6 +172,7 @@ type DiskDB struct {
 	n       int
 	scans   int
 	version int // 1 = LSQ1 (legacy), 2 = LSQ2 (checksummed)
+	bytes   atomic.Int64
 }
 
 // OpenFile validates the header of path and returns a DiskDB over it. Both
@@ -210,6 +212,23 @@ func (db *DiskDB) ResetScans() { db.scans = 0 }
 // Path returns the backing file path.
 func (db *DiskDB) Path() string { return db.path }
 
+// BytesRead returns the total bytes read from the backing file across all
+// passes so far (header and buffered readahead included) — the telemetry
+// layer's real-I/O counter.
+func (db *DiskDB) BytesRead() int64 { return db.bytes.Load() }
+
+// countingReader tallies bytes pulled from the underlying reader.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
 // Version returns the on-disk format version (1 = legacy LSQ1, 2 = LSQ2).
 func (db *DiskDB) Version() int { return db.version }
 
@@ -242,7 +261,7 @@ func (db *DiskDB) ScanContext(ctx context.Context, fn func(id int, seq []pattern
 		return fmt.Errorf("seqdb: open: %w", err)
 	}
 	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<20)
+	br := bufio.NewReaderSize(&countingReader{r: f, n: &db.bytes}, 1<<20)
 	if _, err := br.Discard(12); err != nil {
 		return fmt.Errorf("seqdb: skip header: %w", err)
 	}

@@ -1,0 +1,400 @@
+// Package telemetry is the mining pipeline's lightweight metrics layer:
+// atomic counters, monotonic timers and power-of-two histograms — stdlib
+// only, allocation-free on the hot path — threaded through the three-phase
+// algorithm so the paper's headline cost quantities (full database scans,
+// per-phase wall time, probe batch shapes, §4.3's layer choices) are
+// observable on every run.
+//
+// All recording goes through nil-safe methods on *Metrics: a nil receiver
+// records nothing, so instrumented code needs no conditionals and an
+// uninstrumented run pays only a nil check. Counters are atomics; the
+// per-sequence path takes no locks.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/seqdb"
+)
+
+// Counter is an atomic monotone counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic last/max-value register.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// SetMax raises the gauge to n if n exceeds the current value.
+func (g *Gauge) SetMax(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Timer accumulates elapsed wall time. Durations come from time.Since, which
+// uses the monotonic clock.
+type Timer struct{ ns atomic.Int64 }
+
+// Add accumulates one measured duration.
+func (t *Timer) Add(d time.Duration) { t.ns.Add(int64(d)) }
+
+// Elapsed returns the total accumulated duration.
+func (t *Timer) Elapsed() time.Duration { return time.Duration(t.ns.Load()) }
+
+// histBuckets bounds the histogram resolution: bucket i counts values v with
+// bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i); the last bucket absorbs
+// everything larger (~2^30 and up, far beyond any per-scan quantity here).
+const histBuckets = 31
+
+// Histogram is a fixed-size power-of-two histogram over non-negative int64
+// observations. All fields are atomics; Observe is lock-free.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value (negative values clamp to 0).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Buckets maps the
+// upper bound of each non-empty power-of-two bucket to its count.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Max     int64            `json:"max"`
+	Mean    float64          `json:"mean"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if s.Buckets == nil {
+			s.Buckets = make(map[string]int64)
+		}
+		hi := int64(1) << i // bucket i holds values < 2^i
+		s.Buckets[fmt.Sprintf("le_%d", hi-1)] = n
+	}
+	return s
+}
+
+// Label mirrors chernoff.Label's ordering for classification accounting
+// without importing the classifier.
+const (
+	LabelInfrequent = 0
+	LabelAmbiguous  = 1
+	LabelFrequent   = 2
+)
+
+// phaseScan counts the scan traffic one pipeline phase generated.
+type phaseScan struct {
+	sequences Counter // sequences delivered (including retried attempts)
+	symbols   Counter // symbols delivered
+	bytes     Counter // bytes read from the backing store (estimated for in-memory stores)
+	scans     Counter // completed full passes
+	time      Timer
+}
+
+// Metrics aggregates one mining run's telemetry. The zero value is ready to
+// use; all methods are safe on a nil receiver (and record nothing).
+type Metrics struct {
+	phase atomic.Int32 // current pipeline phase 1..3; 0 = outside the pipeline
+
+	phases         [4]phaseScan // indexed by phase; 0 collects out-of-pipeline traffic
+	bytesEstimated atomic.Bool  // true when bytes were estimated from symbol counts
+
+	sampleSize Gauge // sequences actually drawn in Phase 1
+
+	// Phase 2 lattice accounting.
+	levels         Counter // lattice levels evaluated
+	candidates     Counter // candidates valued
+	peakCandidates Gauge   // widest single level
+	labels         [3]Counter
+
+	// Phase 3 probe accounting.
+	probed      Counter   // patterns counted against the database
+	probeBatch  Histogram // patterns probed per scan
+	probeLayers Histogram // lattice level (K) of each probed pattern — §4.3's layer choices
+}
+
+// SetPhase marks the pipeline phase subsequent scan traffic is attributed to.
+func (m *Metrics) SetPhase(p int) {
+	if m == nil {
+		return
+	}
+	if p < 0 || p > 3 {
+		p = 0
+	}
+	m.phase.Store(int32(p))
+}
+
+// Phase returns the currently-attributed phase (0 outside the pipeline).
+func (m *Metrics) Phase() int {
+	if m == nil {
+		return 0
+	}
+	return int(m.phase.Load())
+}
+
+// cur returns the phaseScan of the current phase.
+func (m *Metrics) cur() *phaseScan { return &m.phases[m.phase.Load()] }
+
+// Sequence records one delivered sequence of the given symbol count.
+func (m *Metrics) Sequence(symbols int) {
+	if m == nil {
+		return
+	}
+	ps := m.cur()
+	ps.sequences.Inc()
+	ps.symbols.Add(int64(symbols))
+}
+
+// ScanDone records one completed full database pass with the bytes it read
+// (estimated true when the store cannot report real I/O bytes).
+func (m *Metrics) ScanDone(bytes int64, estimated bool) {
+	if m == nil {
+		return
+	}
+	ps := m.cur()
+	ps.scans.Inc()
+	ps.bytes.Add(bytes)
+	if estimated {
+		m.bytesEstimated.Store(true)
+	}
+}
+
+// PhaseTime accumulates wall time for phase p.
+func (m *Metrics) PhaseTime(p int, d time.Duration) {
+	if m == nil || p < 0 || p > 3 {
+		return
+	}
+	m.phases[p].time.Add(d)
+}
+
+// SampleDrawn records Phase 1's realized sample size.
+func (m *Metrics) SampleDrawn(n int) {
+	if m == nil {
+		return
+	}
+	m.sampleSize.Set(int64(n))
+}
+
+// LevelEvaluated records one lattice level (or candidate batch) of the given
+// width being valued.
+func (m *Metrics) LevelEvaluated(candidates int) {
+	if m == nil {
+		return
+	}
+	m.levels.Inc()
+	m.candidates.Add(int64(candidates))
+	m.peakCandidates.SetMax(int64(candidates))
+}
+
+// Classified tallies one pattern's label (LabelInfrequent/Ambiguous/Frequent;
+// pass int(chernoff.Label)).
+func (m *Metrics) Classified(label int) {
+	if m == nil || label < 0 || label > 2 {
+		return
+	}
+	m.labels[label].Inc()
+}
+
+// ProbeScan records one Phase 3 probe scan counting batch patterns.
+func (m *Metrics) ProbeScan(batch int) {
+	if m == nil {
+		return
+	}
+	m.probed.Add(int64(batch))
+	m.probeBatch.Observe(int64(batch))
+}
+
+// ProbeLayer records the lattice level of one probed pattern — the layer
+// choice the collapsing schedule made for it.
+func (m *Metrics) ProbeLayer(k int) {
+	if m == nil {
+		return
+	}
+	m.probeLayers.Observe(int64(k))
+}
+
+// PhaseSnapshot is one phase's scan traffic and timing.
+type PhaseSnapshot struct {
+	Phase           int     `json:"phase"`
+	Sequences       int64   `json:"sequences"`
+	Symbols         int64   `json:"symbols"`
+	Bytes           int64   `json:"bytes"`
+	Scans           int64   `json:"scans"`
+	Millis          float64 `json:"millis"`
+	SequencesPerSec float64 `json:"sequences_per_sec"`
+}
+
+// Snapshot is a point-in-time, JSON-serializable copy of a Metrics.
+type Snapshot struct {
+	Phases []PhaseSnapshot `json:"phases"`
+
+	TotalScans      int64   `json:"total_scans"`
+	TotalSequences  int64   `json:"total_sequences"`
+	TotalSymbols    int64   `json:"total_symbols"`
+	TotalBytes      int64   `json:"total_bytes"`
+	BytesEstimated  bool    `json:"bytes_estimated,omitempty"`
+	TotalMillis     float64 `json:"total_millis"`
+	SequencesPerSec float64 `json:"sequences_per_sec"`
+
+	SampleSize int64 `json:"sample_size"`
+
+	Levels         int64 `json:"lattice_levels"`
+	Candidates     int64 `json:"candidates"`
+	PeakCandidates int64 `json:"peak_candidates"`
+	Frequent       int64 `json:"classified_frequent"`
+	Ambiguous      int64 `json:"classified_ambiguous"`
+	Infrequent     int64 `json:"classified_infrequent"`
+
+	Probed      int64             `json:"probed_patterns"`
+	ProbeScans  int64             `json:"probe_scans"`
+	ProbeBatch  HistogramSnapshot `json:"probe_batch"`
+	ProbeLayers HistogramSnapshot `json:"probe_layers"`
+
+	// Retry carries the scanner's pass/retry counters when the run used a
+	// retrying scanner (filled by the orchestrator, not by Metrics itself).
+	Retry seqdb.ScanStats `json:"retry"`
+}
+
+// Snapshot copies the current state. Safe to call concurrently with
+// recording; each counter is read atomically (the set is not one atomic
+// cut, which is fine for progress reporting).
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	var s Snapshot
+	for p := 1; p <= 3; p++ {
+		ps := &m.phases[p]
+		d := ps.time.Elapsed()
+		snap := PhaseSnapshot{
+			Phase:     p,
+			Sequences: ps.sequences.Load(),
+			Symbols:   ps.symbols.Load(),
+			Bytes:     ps.bytes.Load(),
+			Scans:     ps.scans.Load(),
+			Millis:    float64(d.Microseconds()) / 1000,
+		}
+		if d > 0 {
+			snap.SequencesPerSec = float64(snap.Sequences) / d.Seconds()
+		}
+		s.Phases = append(s.Phases, snap)
+		s.TotalScans += snap.Scans
+		s.TotalSequences += snap.Sequences
+		s.TotalSymbols += snap.Symbols
+		s.TotalBytes += snap.Bytes
+		s.TotalMillis += snap.Millis
+	}
+	if s.TotalMillis > 0 {
+		s.SequencesPerSec = float64(s.TotalSequences) / (s.TotalMillis / 1000)
+	}
+	s.BytesEstimated = m.bytesEstimated.Load()
+	s.SampleSize = m.sampleSize.Load()
+	s.Levels = m.levels.Load()
+	s.Candidates = m.candidates.Load()
+	s.PeakCandidates = m.peakCandidates.Load()
+	s.Infrequent = m.labels[LabelInfrequent].Load()
+	s.Ambiguous = m.labels[LabelAmbiguous].Load()
+	s.Frequent = m.labels[LabelFrequent].Load()
+	s.Probed = m.probed.Load()
+	s.ProbeBatch = m.probeBatch.Snapshot()
+	s.ProbeScans = s.ProbeBatch.Count
+	s.ProbeLayers = m.probeLayers.Snapshot()
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText renders the snapshot for humans.
+func (s Snapshot) WriteText(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("telemetry:\n")
+	p("  total: %d scans, %d sequences (%.0f seq/s), %d symbols, %d bytes read",
+		s.TotalScans, s.TotalSequences, s.SequencesPerSec, s.TotalSymbols, s.TotalBytes)
+	if s.BytesEstimated {
+		p(" (estimated)")
+	}
+	p(", %.1f ms\n", s.TotalMillis)
+	for _, ph := range s.Phases {
+		p("  phase %d: %d scans, %d sequences, %.1f ms\n", ph.Phase, ph.Scans, ph.Sequences, ph.Millis)
+	}
+	p("  sample: %d sequences\n", s.SampleSize)
+	p("  lattice: %d levels, %d candidates (peak level %d); labels %d frequent / %d ambiguous / %d infrequent\n",
+		s.Levels, s.Candidates, s.PeakCandidates, s.Frequent, s.Ambiguous, s.Infrequent)
+	p("  probes: %d patterns in %d scans (batch mean %.1f, max %d)\n",
+		s.Probed, s.ProbeScans, s.ProbeBatch.Mean, s.ProbeBatch.Max)
+	if s.ProbeLayers.Count > 0 {
+		p("  layers: mean K %.1f, max K %d\n", s.ProbeLayers.Mean, s.ProbeLayers.Max)
+	}
+	if s.Retry.Attempts > 0 {
+		p("  retries: %d attempts, %d retried, %d transient, %d permanent\n",
+			s.Retry.Attempts, s.Retry.Retries, s.Retry.Transient, s.Retry.Permanent)
+	}
+	return err
+}
