@@ -7,7 +7,8 @@
 //	lspmine -db test.lsq -matrix compat.txt -min-match 0.01 \
 //	        [-max-len 8] [-max-gap 1] [-sample 1000] [-delta 1e-4] \
 //	        [-budget 10000] [-finalizer collapse|levelwise|none] [-seed 1] \
-//	        [-retries 3] [-all] [-v] [-metrics json|text] \
+//	        [-retries 3] [-checkpoint run.lckp] [-resume] [-phase-timeout 30s] \
+//	        [-all] [-v] [-metrics json|text] \
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -metrics collects pipeline telemetry (per-phase scan traffic and wall
@@ -15,10 +16,21 @@
 // snapshot rides inside -json reports as the "telemetry" object. -cpuprofile
 // and -memprofile write pprof profiles for offline analysis.
 //
-// SIGINT/SIGTERM cancel the run cleanly: the partial result (phase reached,
-// scans completed) is reported instead of dying mid-scan. -retries wraps the
+// -checkpoint persists progress to the given file (crash-atomically, after
+// every phase and every Phase 3 probe scan); -resume restarts a killed run
+// from that file, skipping every full scan it records. -phase-timeout bounds
+// Phase 3's wall time: on expiry the run degrades gracefully, reporting the
+// frequent set confirmed so far plus the still-ambiguous patterns with their
+// Chernoff intervals, instead of failing.
+//
+// SIGINT/SIGTERM cancel the run cleanly: the run aborts within one sequence
+// block, a final checkpoint is flushed when -checkpoint is set, and the
+// partial result (phase reached, scans completed) is reported instead of
+// dying mid-scan. A second SIGINT/SIGTERM during that shutdown forces an
+// immediate exit, skipping the final checkpoint flush. -retries wraps the
 // database in a seqdb.RetryScanner that re-runs passes hit by transient I/O
-// failures with capped exponential backoff.
+// failures with capped exponential backoff (the backoff itself is
+// interruptible).
 package main
 
 import (
@@ -53,6 +65,9 @@ func main() {
 	finalizer := flag.String("finalizer", "collapse", "Phase 3 strategy: collapse, implicit, levelwise or none")
 	engine := flag.String("engine", "candidates", "Phase 2 engine: candidates or sweep (sparse matrices)")
 	retries := flag.Int("retries", 0, "retry transient scan failures up to this many times per pass (0 = no retrying)")
+	ckptPath := flag.String("checkpoint", "", "persist progress to this snapshot file (crash-atomic; resumable with -resume)")
+	resume := flag.Bool("resume", false, "resume from the -checkpoint snapshot, skipping every full scan it records")
+	phaseTimeout := flag.Duration("phase-timeout", 0, "Phase 3 wall-clock budget; on expiry the run degrades gracefully instead of failing (0 = unlimited)")
 	seed := flag.Int64("seed", 1, "random seed for sampling")
 	all := flag.Bool("all", false, "print every frequent pattern, not only the border")
 	jsonOut := flag.Bool("json", false, "emit a JSON report instead of text")
@@ -136,16 +151,28 @@ func main() {
 	}
 
 	// SIGINT/SIGTERM cancel the mining context: the run aborts within one
-	// sequence block and reports the partial result instead of dying
-	// mid-scan.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// sequence block, flushes a final checkpoint when -checkpoint is set,
+	// and reports the partial result instead of dying mid-scan. A second
+	// signal during that shutdown forces an immediate exit (no final
+	// checkpoint).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		<-sigc
+		cancel()
+		<-sigc
+		fmt.Fprintln(os.Stderr, "lspmine: second signal — exiting immediately, skipping the final checkpoint")
+		os.Exit(130)
+	}()
 
 	var metrics *telemetry.Metrics
 	if *metricsOut != "" {
 		metrics = &telemetry.Metrics{}
 	}
-	res, err := mine(ctx, db, c, core.Config{
+	cfg := core.Config{
 		MinMatch:              *minMatch,
 		Delta:                 *delta,
 		SampleSize:            *sample,
@@ -156,10 +183,23 @@ func main() {
 		Finalizer:             fin,
 		Rng:                   rand.New(rand.NewSource(*seed)),
 		Metrics:               metrics,
-	})
+		PhaseTimeouts:         core.PhaseTimeouts{Phase3: *phaseTimeout},
+	}
+	if *ckptPath != "" {
+		cfg.Checkpoint = &core.CheckpointPolicy{Path: *ckptPath, Seed: *seed}
+	}
+	var res *core.Result
+	if *resume {
+		if *ckptPath == "" {
+			fatal(errors.New("-resume requires -checkpoint"))
+		}
+		res, err = core.Resume(ctx, *ckptPath, db, c, cfg)
+	} else {
+		res, err = mine(ctx, db, c, cfg)
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			reportInterrupted(err, res, db)
+			reportInterrupted(err, res, db, *ckptPath)
 		}
 		fatal(err)
 	}
@@ -178,8 +218,15 @@ func main() {
 		}
 		return
 	}
+	if res.Degraded {
+		fmt.Fprintf(os.Stderr, "lspmine: phase 3 budget expired; degraded result with %d unresolved patterns (resume with -resume to finish)\n",
+			len(res.Unresolved))
+	}
 	if *verbose {
 		fmt.Printf("sequences: %d, sample: %d, scans: %d\n", db.Len(), res.SampleSize, res.Scans)
+		if res.ResumedFrom > 0 {
+			fmt.Printf("resumed from phase %d checkpoint: %d of those scans skipped\n", res.ResumedFrom, res.ScansSkipped)
+		}
 		if st := res.ScanStats; st.Retries > 0 || st.Permanent > 0 {
 			fmt.Printf("scan attempts: %d (%d retried after transient failures)\n", st.Attempts, st.Retries)
 		}
@@ -202,6 +249,13 @@ func main() {
 	for _, p := range set.Patterns() {
 		fmt.Println("  ", a.Format(p))
 	}
+	if res.Degraded {
+		fmt.Printf("unresolved patterns (%d, phase 3 budget expired; true match within ±ε at confidence 1-δ):\n",
+			len(res.Unresolved))
+		for _, u := range res.Unresolved {
+			fmt.Printf("   %s  sample=%.4f ε=%.4f\n", a.Format(u.Pattern), u.SampleMatch, u.Epsilon)
+		}
+	}
 }
 
 // writeMetrics renders the run's telemetry snapshot (with the scanner's
@@ -222,13 +276,18 @@ func writeMetrics(m *telemetry.Metrics, res *core.Result, format string) {
 
 // reportInterrupted summarizes a cancelled run: the phase it died in, the
 // scans it completed, and whatever partial output the finished phases left.
-func reportInterrupted(err error, res *core.Result, db seqdb.Scanner) {
+// By the time the *PhaseError surfaced, the pipeline already flushed its
+// final checkpoint (when one was configured).
+func reportInterrupted(err error, res *core.Result, db seqdb.Scanner, ckptPath string) {
 	phase := 0
 	var pe *core.PhaseError
 	if errors.As(err, &pe) {
 		phase = pe.Phase
 	}
 	fmt.Fprintf(os.Stderr, "lspmine: interrupted during phase %d; %d full scans completed\n", phase, db.Scans())
+	if ckptPath != "" {
+		fmt.Fprintf(os.Stderr, "lspmine: progress saved to %s; continue with -resume\n", ckptPath)
+	}
 	if res == nil {
 		os.Exit(130)
 	}

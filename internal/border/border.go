@@ -43,6 +43,11 @@ type Config struct {
 	// Metrics, when non-nil, receives probe telemetry (probe scans, batch
 	// sizes, probed layer choices). Nil disables collection.
 	Metrics *telemetry.Metrics
+	// AfterScan, when non-nil, observes the loop's live state after every
+	// completed probe scan — the checkpoint/progress hook. The state's sets
+	// and map are the loop's own (the callback must copy anything it
+	// retains); a non-nil error aborts finalization with that error.
+	AfterScan func(*State) error
 }
 
 // interrupted returns a wrapped cancellation error if cfg.Ctx is done.
@@ -96,26 +101,64 @@ func Collapse(cfg Config, sampleFrequent, ambiguous *pattern.Set) (*Result, erro
 // It must return at least one pattern while any are pending.
 type PickFunc func(pending *pattern.Set, budget int) []pattern.Pattern
 
+// State is a resumable snapshot of the probe-and-propagate loop: the
+// frequent set as propagated so far, the still-unresolved region, the exact
+// matches measured, and the scans spent. FinalizeState takes ownership of
+// the sets and mutates them in place; build a State from checkpoint data to
+// continue an interrupted finalization without repeating any probe scan.
+type State struct {
+	// Frequent holds the sample-frequent patterns plus every probe-confirmed
+	// and Apriori-propagated pattern so far.
+	Frequent *pattern.Set
+	// Pending is the still-unresolved ambiguous region.
+	Pending *pattern.Set
+	// Exact records the measured database match of every probed pattern.
+	Exact map[string]float64
+	// Scans and Probed count completed probe scans and probed patterns.
+	Scans  int
+	Probed int
+}
+
+// NewState builds the initial loop state from Phase 2's outputs. Neither
+// input set is modified.
+func NewState(sampleFrequent, ambiguous *pattern.Set) *State {
+	return &State{
+		Frequent: sampleFrequent.Clone(),
+		Pending:  ambiguous.Clone(),
+		Exact:    make(map[string]float64),
+	}
+}
+
 // Finalize runs the probe-and-propagate loop with a pluggable probe-order
 // strategy (halfway layers for Collapse, bottom-up for the level-wise
 // baseline in package levelwise). The strategy only affects how many scans
 // the loop needs — the resulting frequent set is always exact.
 func Finalize(cfg Config, sampleFrequent, ambiguous *pattern.Set, pick PickFunc) (*Result, error) {
+	return FinalizeState(cfg, NewState(sampleFrequent, ambiguous), pick)
+}
+
+// FinalizeState runs the probe-and-propagate loop from an explicit state —
+// either a fresh one (NewState) or one rebuilt from a checkpoint, in which
+// case every scan the checkpoint recorded is skipped. The state is mutated
+// in place as the loop progresses, so cfg.AfterScan observes live progress;
+// the final Result is assembled from it. Because the pick strategy is a
+// deterministic function of the pending set, a resumed loop performs
+// exactly the scans the uninterrupted loop had left and lands on an
+// identical frequent set.
+func FinalizeState(cfg Config, st *State, pick PickFunc) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{
-		Frequent: sampleFrequent.Clone(),
-		Exact:    make(map[string]float64),
+	if st == nil || st.Frequent == nil || st.Pending == nil || st.Exact == nil {
+		return nil, fmt.Errorf("border: incomplete state")
 	}
-	pending := ambiguous.Clone()
-	for pending.Len() > 0 {
+	for st.Pending.Len() > 0 {
 		if err := cfg.interrupted(); err != nil {
 			return nil, err
 		}
-		batch := pick(pending, cfg.MemBudget)
+		batch := pick(st.Pending, cfg.MemBudget)
 		if len(batch) == 0 {
-			return nil, fmt.Errorf("border: probe strategy returned no patterns with %d pending", pending.Len())
+			return nil, fmt.Errorf("border: probe strategy returned no patterns with %d pending", st.Pending.Len())
 		}
 		values, err := cfg.Probe(batch)
 		if err != nil {
@@ -124,20 +167,31 @@ func Finalize(cfg Config, sampleFrequent, ambiguous *pattern.Set, pick PickFunc)
 		if len(values) != len(batch) {
 			return nil, fmt.Errorf("border: probe returned %d values for %d patterns", len(values), len(batch))
 		}
-		res.Scans++
-		res.Probed += len(batch)
+		st.Scans++
+		st.Probed += len(batch)
 		cfg.Metrics.ProbeScan(len(batch))
 		for i, p := range batch {
 			cfg.Metrics.ProbeLayer(p.K())
-			res.Exact[p.Key()] = values[i]
-			pending.Remove(p)
+			st.Exact[p.Key()] = values[i]
+			st.Pending.Remove(p)
 			if values[i] >= cfg.MinMatch {
-				res.Frequent.Add(p)
-				propagateFrequent(p, pending, res.Frequent)
+				st.Frequent.Add(p)
+				propagateFrequent(p, st.Pending, st.Frequent)
 			} else {
-				propagateInfrequent(p, pending)
+				propagateInfrequent(p, st.Pending)
 			}
 		}
+		if cfg.AfterScan != nil {
+			if err := cfg.AfterScan(st); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res := &Result{
+		Frequent: st.Frequent,
+		Exact:    st.Exact,
+		Scans:    st.Scans,
+		Probed:   st.Probed,
 	}
 	res.Border = pattern.Border(res.Frequent)
 	return res, nil

@@ -23,11 +23,8 @@ import (
 
 	"repro/internal/border"
 	"repro/internal/compat"
-	"repro/internal/levelwise"
-	"repro/internal/match"
 	"repro/internal/miner"
 	"repro/internal/pattern"
-	"repro/internal/sampling"
 	"repro/internal/seqdb"
 	"repro/internal/support"
 	"repro/internal/telemetry"
@@ -73,6 +70,32 @@ func (f Finalizer) String() string {
 	}
 }
 
+// Phase 2 engine names, recorded in checkpoints so Resume can dispatch to
+// the pipeline variant that wrote the snapshot.
+const (
+	engineCandidates = "candidates"
+	engineSweep      = "sweep"
+)
+
+// PhaseTimeouts assigns each pipeline phase a wall-clock budget; zero means
+// unlimited. Phase 1 and Phase 2 budgets are hard deadlines — expiry fails
+// the run with a *PhaseError wrapping context.DeadlineExceeded (with
+// checkpointing enabled, completed work is preserved first). The Phase 3
+// budget degrades gracefully instead: the run returns the Phase 2 frequent
+// set plus everything Phase 3 confirmed before the deadline, with the
+// still-ambiguous patterns annotated in Result.Unresolved and
+// Result.Degraded set.
+type PhaseTimeouts struct {
+	Phase1, Phase2, Phase3 time.Duration
+}
+
+func (t PhaseTimeouts) validate() error {
+	if t.Phase1 < 0 || t.Phase2 < 0 || t.Phase3 < 0 {
+		return fmt.Errorf("core: negative phase timeout")
+	}
+	return nil
+}
+
 // Config parameterizes a mining run. Zero values select sensible defaults
 // where noted.
 type Config struct {
@@ -108,6 +131,17 @@ type Config struct {
 	// phase that caused it. Nil (the default) disables collection entirely —
 	// the instrumented paths cost one nil check each.
 	Metrics *telemetry.Metrics
+	// Checkpoint, when non-nil, persists pipeline progress to
+	// Checkpoint.Path as a crash-atomic snapshot (after Phase 1, after
+	// Phase 2, and — by default — after every Phase 3 probe scan), and a
+	// final snapshot is written before a failed or cancelled run returns
+	// its *PhaseError. Resume the run with core.Resume. Nil disables
+	// checkpointing.
+	Checkpoint *CheckpointPolicy
+	// PhaseTimeouts bounds each phase's wall time (zero = unlimited). The
+	// Phase 3 budget degrades gracefully rather than failing; see
+	// PhaseTimeouts.
+	PhaseTimeouts PhaseTimeouts
 }
 
 // probeValuer picks the sequential or parallel counting kernel, both
@@ -156,6 +190,12 @@ func (c *Config) validate() error {
 	if c.Finalizer < BorderCollapsing || c.Finalizer > BorderCollapsingImplicit {
 		return fmt.Errorf("core: unknown finalizer %d", c.Finalizer)
 	}
+	if err := c.PhaseTimeouts.validate(); err != nil {
+		return err
+	}
+	if c.Checkpoint != nil && c.Checkpoint.Path == "" {
+		return fmt.Errorf("core: Checkpoint.Path is required when checkpointing is enabled")
+	}
 	return nil
 }
 
@@ -203,6 +243,36 @@ type Result struct {
 	// Telemetry aliases Config.Metrics for the run (nil when collection was
 	// disabled); render it with Telemetry.Snapshot().
 	Telemetry *telemetry.Metrics
+	// Degraded reports that the Phase 3 deadline budget expired and the
+	// result was assembled from the work completed: Frequent holds the
+	// Phase 2 frequent set plus every pattern Phase 3 confirmed in time,
+	// and Unresolved annotates the patterns left ambiguous.
+	Degraded bool
+	// Unresolved lists the still-ambiguous patterns of a degraded run with
+	// their sample estimates and Chernoff intervals (empty otherwise).
+	Unresolved []Unresolved
+	// ResumedFrom is the highest phase the resumed-from checkpoint had
+	// recorded (0 for a fresh run).
+	ResumedFrom int
+	// ScansSkipped is the number of full database scans this run avoided by
+	// resuming from a checkpoint (Phase 1's scan plus recorded probe
+	// scans). Scans reports the run's logical total, so a resumed run's
+	// Scans matches the uninterrupted run's; the scans actually performed
+	// by this process are Scans - ScansSkipped.
+	ScansSkipped int
+}
+
+// Unresolved is an ambiguous pattern a degraded run could not finalize
+// before its Phase 3 deadline. The pattern's true match lies within
+// [SampleMatch-Epsilon, SampleMatch+Epsilon] with probability 1-Delta
+// (Claim 4.1 with the restricted spread) — the information a Finalizer ==
+// None run would report.
+type Unresolved struct {
+	Pattern pattern.Pattern
+	// SampleMatch is Phase 2's sample estimate of the pattern's match.
+	SampleMatch float64
+	// Epsilon is the Chernoff half-width at the pattern's restricted spread.
+	Epsilon float64
 }
 
 // captureScanStats copies the scanner's retry counters into the result when
@@ -234,97 +304,17 @@ func Mine(db seqdb.Scanner, c compat.Source, cfg Config) (*Result, error) {
 // When db re-runs failed passes (a seqdb.RetryScanner over a flaky store),
 // every scan in the pipeline is retry-safe: per-pass counting state is
 // rebuilt per attempt, and only completed passes count toward Scans.
+//
+// With cfg.Checkpoint set, progress is persisted to disk as it is made and a
+// killed run can be continued with Resume; cfg.PhaseTimeouts bounds each
+// phase's wall time, with a Phase 3 expiry degrading gracefully (see
+// PhaseTimeouts and Result.Degraded).
 func MineContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cfg Config) (*Result, error) {
 	cfg.setDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if db.Len() == 0 {
-		return nil, fmt.Errorf("core: empty database")
-	}
-	if cfg.Metrics != nil {
-		// The wrapper attributes every delivered sequence and completed pass
-		// to whatever phase is current when it happens.
-		db = telemetry.NewScanner(db, cfg.Metrics)
-		defer cfg.Metrics.SetPhase(0)
-	}
-	res := &Result{Telemetry: cfg.Metrics}
-	fail := func(phase int, err error) (*Result, error) {
-		res.PhaseReached = phase
-		res.captureScanStats(db)
-		return res, &PhaseError{Phase: phase, Err: err}
-	}
-
-	// Phase 1: symbol matches + sample, one scan.
-	res.PhaseReached = 1
-	cfg.Metrics.SetPhase(1)
-	start := time.Now()
-	symbolMatch, sample, err := Phase1Context(ctx, db, c, cfg.SampleSize, cfg.Rng)
-	cfg.Metrics.PhaseTime(1, time.Since(start))
-	if err != nil {
-		return fail(1, err)
-	}
-	res.SymbolMatch = symbolMatch
-	res.SampleSize = len(sample)
-	cfg.Metrics.SampleDrawn(len(sample))
-	res.Scans = 1
-	res.Phase1Time = time.Since(start)
-
-	// Phase 2: sample mining with Chernoff classification.
-	res.PhaseReached = 2
-	cfg.Metrics.SetPhase(2)
-	start = time.Now()
-	opts := miner.Options{
-		MaxLen:                cfg.MaxLen,
-		MaxGap:                cfg.MaxGap,
-		MaxCandidatesPerLevel: cfg.MaxCandidatesPerLevel,
-		Metrics:               cfg.Metrics,
-	}
-	res.Phase2, err = miner.SampleChernoffContext(ctx, c.Size(), miner.MatchSampleValuer(c, sample),
-		symbolMatch, cfg.MinMatch, cfg.Delta, len(sample), opts)
-	cfg.Metrics.PhaseTime(2, time.Since(start))
-	if err != nil {
-		return fail(2, err)
-	}
-	res.Phase2Time = time.Since(start)
-
-	// Phase 3: finalize the border against the full database.
-	res.PhaseReached = 3
-	cfg.Metrics.SetPhase(3)
-	start = time.Now()
-	if cfg.Finalizer == None || res.Phase2.Ambiguous.Len() == 0 {
-		res.Frequent = res.Phase2.Frequent.Clone()
-		res.Border = pattern.Border(res.Frequent)
-		res.Phase3Time = time.Since(start)
-		cfg.Metrics.PhaseTime(3, res.Phase3Time)
-		res.captureScanStats(db)
-		return res, nil
-	}
-	probeCfg := border.Config{
-		MinMatch:  cfg.MinMatch,
-		MemBudget: cfg.MemBudget,
-		Probe:     cfg.probeValuer(ctx, db, c),
-		Ctx:       ctx,
-		Metrics:   cfg.Metrics,
-	}
-	switch cfg.Finalizer {
-	case BorderCollapsing:
-		res.Phase3, err = border.Collapse(probeCfg, res.Phase2.Frequent, res.Phase2.Ambiguous)
-	case LevelWise:
-		res.Phase3, err = levelwiseFinalize(probeCfg, res.Phase2.Frequent, res.Phase2.Ambiguous)
-	case BorderCollapsingImplicit:
-		res.Phase3, err = border.CollapseImplicit(probeCfg, implicitLower(res.Phase2), res.Phase2.Ceiling)
-	}
-	cfg.Metrics.PhaseTime(3, time.Since(start))
-	if err != nil {
-		return fail(3, err)
-	}
-	res.Frequent = res.Phase3.Frequent
-	res.Border = res.Phase3.Border
-	res.Scans += res.Phase3.Scans
-	res.Phase3Time = time.Since(start)
-	res.captureScanStats(db)
-	return res, nil
+	return mineContext(ctx, db, c, cfg, engineCandidates, nil)
 }
 
 // implicitLower assembles CollapseImplicit's lower border: the FQT plus the
@@ -341,12 +331,6 @@ func implicitLower(p2 *miner.Result) *pattern.Set {
 	return lower
 }
 
-// levelwiseFinalize adapts the baseline finalizer's signature for the
-// orchestrators.
-func levelwiseFinalize(cfg border.Config, sampleFrequent, ambiguous *pattern.Set) (*border.Result, error) {
-	return levelwise.Finalize(cfg, sampleFrequent, ambiguous)
-}
-
 // Phase1 performs Algorithm 4.1: one scan computing every symbol's match and
 // drawing a sequential random sample of up to n sequences.
 func Phase1(db seqdb.Scanner, c compat.Source, n int, rng *rand.Rand) ([]float64, [][]pattern.Symbol, error) {
@@ -358,30 +342,8 @@ func Phase1(db seqdb.Scanner, c compat.Source, n int, rng *rand.Rand) ([]float64
 // scanner can re-run a failed pass without double-counting; a retried pass
 // redraws its sample with fresh rng draws (statistically equivalent).
 func Phase1Context(ctx context.Context, db seqdb.Scanner, c compat.Source, n int, rng *rand.Rand) ([]float64, [][]pattern.Symbol, error) {
-	var acc *match.SymbolAccumulator
-	var sampler *sampling.Sequential
-	var delivered int
-	err := seqdb.ScanPassContext(ctx, db, func() (func(id int, seq []pattern.Symbol) error, error) {
-		a := match.NewSymbolAccumulator(c)
-		s, err := sampling.NewSequential(n, db.Len(), rng)
-		if err != nil {
-			return nil, err
-		}
-		acc, sampler = a, s
-		delivered = 0
-		return func(id int, seq []pattern.Symbol) error {
-			delivered++
-			a.Observe(seq)
-			s.Offer(seq)
-			return nil
-		}, nil
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	// Average over the sequences the scan delivered (db.Len() may be stale
-	// for some scanners; the stream is the ground truth).
-	return acc.Matches(delivered), sampler.Samples(), nil
+	symbolMatch, sample, _, err := phase1Run(ctx, db, c, n, rng)
+	return symbolMatch, sample, err
 }
 
 // Exhaustive mines the exact frequent set of db under the match measure with

@@ -20,9 +20,27 @@ type Report struct {
 	Scans      int             `json:"scans"`
 	Frequent   []PatternReport `json:"frequent"`
 	Phase      PhaseReport     `json:"phases"`
+	// Degraded flags a run whose Phase 3 budget expired; Unresolved then
+	// lists the patterns left ambiguous, with their Chernoff intervals.
+	Degraded   bool               `json:"degraded,omitempty"`
+	Unresolved []UnresolvedReport `json:"unresolved,omitempty"`
+	// ResumedFrom and ScansSkipped describe a checkpoint-resumed run: the
+	// phase the snapshot had recorded, and how many of Scans were skipped.
+	ResumedFrom  int `json:"resumed_from,omitempty"`
+	ScansSkipped int `json:"scans_skipped,omitempty"`
 	// Telemetry is the run's metrics snapshot, present when the run was
 	// configured with a telemetry.Metrics collector.
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+}
+
+// UnresolvedReport is one still-ambiguous pattern of a degraded run: its
+// true match lies within [sample_match-epsilon, sample_match+epsilon] at
+// confidence 1-δ.
+type UnresolvedReport struct {
+	Pattern     string  `json:"pattern"`
+	Key         string  `json:"key"`
+	SampleMatch float64 `json:"sample_match"`
+	Epsilon     float64 `json:"epsilon"`
 }
 
 // PatternReport is one frequent pattern.
@@ -87,6 +105,17 @@ func NewReport(res *Result, minMatch float64, sequences int, alphabet *pattern.A
 			return alphabet.Format(p)
 		}
 		return p.String()
+	}
+	rep.Degraded = res.Degraded
+	rep.ResumedFrom = res.ResumedFrom
+	rep.ScansSkipped = res.ScansSkipped
+	for _, u := range res.Unresolved {
+		rep.Unresolved = append(rep.Unresolved, UnresolvedReport{
+			Pattern:     render(u.Pattern),
+			Key:         u.Pattern.Key(),
+			SampleMatch: u.SampleMatch,
+			Epsilon:     u.Epsilon,
+		})
 	}
 	for _, p := range res.Frequent.Patterns() {
 		key := p.Key()

@@ -3,16 +3,13 @@ package core
 import (
 	"context"
 	"fmt"
-	"time"
 
-	"repro/internal/border"
 	"repro/internal/chernoff"
 	"repro/internal/compat"
 	"repro/internal/match"
 	"repro/internal/miner"
 	"repro/internal/pattern"
 	"repro/internal/seqdb"
-	"repro/internal/telemetry"
 )
 
 // MineSweep is the window-sweep variant of the three-phase algorithm,
@@ -37,51 +34,26 @@ func MineSweep(db seqdb.Scanner, c compat.Source, cfg Config) (*Result, error) {
 }
 
 // MineSweepContext is MineSweep with the cancellation, phase-attribution,
-// partial-result, and retry semantics of MineContext: ctx is checked
-// between sequences in Phase 1, between sweep levels in Phase 2, and
-// between/within probe scans in Phase 3; failures surface as *PhaseError.
+// partial-result, retry, checkpoint/resume, and phase-budget semantics of
+// MineContext: ctx is checked between sequences in Phase 1, between sweep
+// levels in Phase 2, and between/within probe scans in Phase 3; failures
+// surface as *PhaseError.
 func MineSweepContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cfg Config) (*Result, error) {
 	cfg.setDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if db.Len() == 0 {
-		return nil, fmt.Errorf("core: empty database")
-	}
-	if cfg.Metrics != nil {
-		db = telemetry.NewScanner(db, cfg.Metrics)
-		defer cfg.Metrics.SetPhase(0)
-	}
-	res := &Result{Telemetry: cfg.Metrics}
-	fail := func(phase int, err error) (*Result, error) {
-		res.PhaseReached = phase
-		res.captureScanStats(db)
-		return res, &PhaseError{Phase: phase, Err: err}
-	}
+	return mineContext(ctx, db, c, cfg, engineSweep, nil)
+}
 
-	// Phase 1: symbol matches + sample, one scan.
-	res.PhaseReached = 1
-	cfg.Metrics.SetPhase(1)
-	start := time.Now()
-	symbolMatch, sample, err := Phase1Context(ctx, db, c, cfg.SampleSize, cfg.Rng)
-	cfg.Metrics.PhaseTime(1, time.Since(start))
-	if err != nil {
-		return fail(1, err)
-	}
+// phase2Sweep is the window-sweep Phase 2: level 1 is labeled exactly from
+// the Phase 1 symbol matches, and higher levels enumerate the sample's
+// compatible windows with match.LevelSweep.
+func phase2Sweep(ctx context.Context, c compat.Source, cfg *Config, symbolMatch []float64, sample [][]pattern.Symbol) (*miner.Result, error) {
 	n := len(sample)
-	res.SymbolMatch = symbolMatch
-	res.SampleSize = n
-	cfg.Metrics.SampleDrawn(n)
-	res.Scans = 1
-	res.Phase1Time = time.Since(start)
-
-	// Phase 2: window sweep over the sample with Chernoff classification.
-	res.PhaseReached = 2
-	cfg.Metrics.SetPhase(2)
-	start = time.Now()
 	cls, err := chernoff.NewClassifier(cfg.MinMatch, cfg.Delta, n)
 	if err != nil {
-		return fail(2, err)
+		return nil, err
 	}
 	p2 := &miner.Result{
 		Frequent:  pattern.NewSet(),
@@ -114,18 +86,18 @@ func MineSweepContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cf
 	cfg.Metrics.LevelEvaluated(c.Size())
 	p2.AlivePerLevel = append(p2.AlivePerLevel, aliveSymbols)
 	if eps := cls.Epsilon(maxSym); eps >= cfg.MinMatch {
-		return fail(2, fmt.Errorf("core: sample too small for sweep mining (ε=%v >= min_match=%v); grow the sample or use Mine", eps, cfg.MinMatch))
+		return nil, fmt.Errorf("core: sample too small for sweep mining (ε=%v >= min_match=%v); grow the sample or use Mine", eps, cfg.MinMatch)
 	}
 
 	sampleDB := seqdb.NewMemDB(sample)
 	alive := aliveSymbols
 	for k := 2; k <= cfg.MaxLen && alive > 0; k++ {
 		if err := ctx.Err(); err != nil {
-			return fail(2, err)
+			return nil, err
 		}
 		sums, err := match.LevelSweep(sampleDB, c, k, cfg.MaxLen, cfg.MaxGap, floor)
 		if err != nil {
-			return fail(2, err)
+			return nil, err
 		}
 		alive = 0
 		p2.CandidatesPerLevel = append(p2.CandidatesPerLevel, len(sums))
@@ -134,7 +106,7 @@ func MineSweepContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cf
 			v := sum / float64(n)
 			p, err := pattern.ParseKey(key)
 			if err != nil {
-				return fail(2, err)
+				return nil, err
 			}
 			spread := chernoff.RestrictedSpread(p, symbolMatch)
 			p2.Values[key] = v
@@ -161,45 +133,5 @@ func MineSweepContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cf
 	combined := p2.Frequent.Clone()
 	combined.Union(p2.Ambiguous)
 	p2.Ceiling = pattern.Border(combined)
-	res.Phase2 = p2
-	res.Phase2Time = time.Since(start)
-	cfg.Metrics.PhaseTime(2, res.Phase2Time)
-
-	// Phase 3: identical finalization to Mine.
-	res.PhaseReached = 3
-	cfg.Metrics.SetPhase(3)
-	start = time.Now()
-	if cfg.Finalizer == None || p2.Ambiguous.Len() == 0 {
-		res.Frequent = p2.Frequent.Clone()
-		res.Border = pattern.Border(res.Frequent)
-		res.Phase3Time = time.Since(start)
-		cfg.Metrics.PhaseTime(3, res.Phase3Time)
-		res.captureScanStats(db)
-		return res, nil
-	}
-	probeCfg := border.Config{
-		MinMatch:  cfg.MinMatch,
-		MemBudget: cfg.MemBudget,
-		Probe:     cfg.probeValuer(ctx, db, c),
-		Ctx:       ctx,
-		Metrics:   cfg.Metrics,
-	}
-	switch cfg.Finalizer {
-	case BorderCollapsing:
-		res.Phase3, err = border.Collapse(probeCfg, p2.Frequent, p2.Ambiguous)
-	case LevelWise:
-		res.Phase3, err = levelwiseFinalize(probeCfg, p2.Frequent, p2.Ambiguous)
-	case BorderCollapsingImplicit:
-		res.Phase3, err = border.CollapseImplicit(probeCfg, implicitLower(p2), p2.Ceiling)
-	}
-	cfg.Metrics.PhaseTime(3, time.Since(start))
-	if err != nil {
-		return fail(3, err)
-	}
-	res.Frequent = res.Phase3.Frequent
-	res.Border = res.Phase3.Border
-	res.Scans += res.Phase3.Scans
-	res.Phase3Time = time.Since(start)
-	res.captureScanStats(db)
-	return res, nil
+	return p2, nil
 }

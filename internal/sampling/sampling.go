@@ -19,6 +19,7 @@ import (
 type Sequential struct {
 	n, total int
 	seen     int
+	draws    uint64
 	rng      *rand.Rand
 	samples  [][]pattern.Symbol
 }
@@ -52,7 +53,12 @@ func (s *Sequential) Offer(seq []pattern.Symbol) bool {
 		return false
 	}
 	// Choose with probability (n-j)/(N-i).
-	if float64(remainingNeed) >= float64(remainingSeqs) || s.rng.Float64() < float64(remainingNeed)/float64(remainingSeqs) {
+	take := float64(remainingNeed) >= float64(remainingSeqs)
+	if !take {
+		s.draws++
+		take = s.rng.Float64() < float64(remainingNeed)/float64(remainingSeqs)
+	}
+	if take {
 		cp := make([]pattern.Symbol, len(seq))
 		copy(cp, seq)
 		s.samples = append(s.samples, cp)
@@ -64,6 +70,11 @@ func (s *Sequential) Offer(seq []pattern.Symbol) bool {
 // Samples returns the chosen sequences. After all total offers, exactly
 // min(n, total) sequences are present.
 func (s *Sequential) Samples() [][]pattern.Symbol { return s.samples }
+
+// Draws returns the number of rng draws consumed so far. A checkpointing
+// pipeline records it so a resumed run can fast-forward a freshly seeded
+// generator to the sampler's exact post-scan state.
+func (s *Sequential) Draws() uint64 { return s.draws }
 
 // Reservoir draws a uniform sample of up to n sequences from a stream of
 // unknown length (Vitter's Algorithm R).

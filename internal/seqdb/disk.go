@@ -170,8 +170,8 @@ func (w *Writer) Close() error {
 type DiskDB struct {
 	path    string
 	n       int
-	scans   int
-	version int // 1 = LSQ1 (legacy), 2 = LSQ2 (checksummed)
+	scans   atomic.Int64 // readable concurrently with a scan (progress UIs)
+	version int          // 1 = LSQ1 (legacy), 2 = LSQ2 (checksummed)
 	bytes   atomic.Int64
 }
 
@@ -203,11 +203,12 @@ func OpenFile(path string) (*DiskDB, error) {
 // Len returns the number of sequences.
 func (db *DiskDB) Len() int { return db.n }
 
-// Scans returns the number of completed full passes.
-func (db *DiskDB) Scans() int { return db.scans }
+// Scans returns the number of completed full passes. Safe to call
+// concurrently with a running scan.
+func (db *DiskDB) Scans() int { return int(db.scans.Load()) }
 
 // ResetScans zeroes the pass counter.
-func (db *DiskDB) ResetScans() { db.scans = 0 }
+func (db *DiskDB) ResetScans() { db.scans.Store(0) }
 
 // Path returns the backing file path.
 func (db *DiskDB) Path() string { return db.path }
@@ -316,7 +317,7 @@ func (db *DiskDB) ScanContext(ctx context.Context, fn func(id int, seq []pattern
 	if _, err := br.ReadByte(); err != io.EOF {
 		return corrupt(db.path, -1, fmt.Sprintf("trailing garbage after %d sequences", db.n), nil)
 	}
-	db.scans++
+	db.scans.Add(1)
 	return nil
 }
 

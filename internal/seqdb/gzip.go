@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"repro/internal/pattern"
 )
@@ -115,7 +116,7 @@ func (w *GzipWriter) Close() error {
 type GzipDB struct {
 	path  string
 	n     int
-	scans int
+	scans atomic.Int64 // readable concurrently with a scan (progress UIs)
 }
 
 // OpenGzipFile validates the header of a compressed database.
@@ -139,11 +140,12 @@ func OpenGzipFile(path string) (*GzipDB, error) {
 // Len returns the number of sequences.
 func (db *GzipDB) Len() int { return db.n }
 
-// Scans returns the number of completed full passes.
-func (db *GzipDB) Scans() int { return db.scans }
+// Scans returns the number of completed full passes. Safe to call
+// concurrently with a running scan.
+func (db *GzipDB) Scans() int { return int(db.scans.Load()) }
 
 // ResetScans zeroes the pass counter.
-func (db *GzipDB) ResetScans() { db.scans = 0 }
+func (db *GzipDB) ResetScans() { db.scans.Store(0) }
 
 // Path returns the backing file path.
 func (db *GzipDB) Path() string { return db.path }
@@ -208,7 +210,7 @@ func (db *GzipDB) ScanContext(ctx context.Context, fn func(id int, seq []pattern
 	default:
 		return corrupt(db.path, -1, "stream did not end cleanly", err)
 	}
-	db.scans++
+	db.scans.Add(1)
 	return nil
 }
 

@@ -51,8 +51,10 @@ type RetryScanner struct {
 	// up to MaxDelay (default 1s).
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
-	// Sleep is the backoff sleeper, injectable for tests (default
-	// time.Sleep).
+	// Sleep, when set, replaces the default backoff sleeper (injectable for
+	// tests). The default honors ctx: a cancellation arriving mid-backoff
+	// aborts the wait immediately and returns ctx.Err(). A custom Sleep is
+	// called as-is, so cancellation is only observed after it returns.
 	Sleep func(time.Duration)
 	// Classify reports whether an error is transient (default IsTransient).
 	Classify func(error) bool
@@ -110,10 +112,6 @@ func (r *RetryScanner) ScanPassContext(ctx context.Context, setup PassFunc) erro
 	if maxDelay <= 0 {
 		maxDelay = time.Second
 	}
-	sleep := r.Sleep
-	if sleep == nil {
-		sleep = time.Sleep
-	}
 	classify := r.Classify
 	if classify == nil {
 		classify = IsTransient
@@ -147,10 +145,41 @@ func (r *RetryScanner) ScanPassContext(ctx context.Context, setup PassFunc) erro
 			return fmt.Errorf("seqdb: pass failed after %d attempts: %w", attempt, err)
 		}
 		r.stats.Retries++
-		sleep(delay)
+		if r.Sleep != nil {
+			r.Sleep(delay)
+		} else if err := sleepContext(ctx, delay); err != nil {
+			return err
+		}
 		delay *= 2
 		if delay > maxDelay {
 			delay = maxDelay
 		}
+	}
+}
+
+// Path returns the wrapped scanner's backing file path when it has one
+// (DiskDB, GzipDB), empty otherwise — so identity checks (e.g. a resumed
+// run verifying it scans the same database) see through the retry layer.
+func (r *RetryScanner) Path() string {
+	if p, ok := r.Inner.(interface{ Path() string }); ok {
+		return p.Path()
+	}
+	return ""
+}
+
+// sleepContext sleeps for d or until ctx is cancelled, whichever comes
+// first, returning ctx.Err() in the latter case. A nil ctx sleeps plainly.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
 }

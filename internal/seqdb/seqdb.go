@@ -12,6 +12,7 @@ package seqdb
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/pattern"
 )
@@ -105,7 +106,7 @@ func ctxErr(ctx context.Context) error {
 // usable database.
 type MemDB struct {
 	seqs  [][]pattern.Symbol
-	scans int
+	scans atomic.Int64 // readable concurrently with a scan (progress UIs)
 }
 
 // NewMemDB builds an in-memory database over the given sequences. Sequence
@@ -123,11 +124,12 @@ func (db *MemDB) Append(seq []pattern.Symbol) int {
 // Len returns the number of sequences.
 func (db *MemDB) Len() int { return len(db.seqs) }
 
-// Scans returns the number of completed full passes.
-func (db *MemDB) Scans() int { return db.scans }
+// Scans returns the number of completed full passes. Safe to call
+// concurrently with a running scan.
+func (db *MemDB) Scans() int { return int(db.scans.Load()) }
 
 // ResetScans zeroes the pass counter.
-func (db *MemDB) ResetScans() { db.scans = 0 }
+func (db *MemDB) ResetScans() { db.scans.Store(0) }
 
 // Seq returns the i-th sequence (shared storage; callers must not modify).
 func (db *MemDB) Seq(i int) []pattern.Symbol { return db.seqs[i] }
@@ -148,7 +150,7 @@ func (db *MemDB) ScanContext(ctx context.Context, fn func(id int, seq []pattern.
 			return err
 		}
 	}
-	db.scans++
+	db.scans.Add(1)
 	return nil
 }
 

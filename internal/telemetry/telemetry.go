@@ -168,6 +168,13 @@ type Metrics struct {
 	probed      Counter   // patterns counted against the database
 	probeBatch  Histogram // patterns probed per scan
 	probeLayers Histogram // lattice level (K) of each probed pattern — §4.3's layer choices
+
+	// Checkpoint/resume accounting.
+	ckptWrites   Counter // snapshots persisted
+	ckptBytes    Counter // bytes written across all snapshots
+	ckptTime     Timer   // wall time spent writing snapshots
+	resumedPhase Gauge   // phase the run resumed from (0 = fresh run)
+	scansAvoided Gauge   // full scans skipped by resuming
 }
 
 // SetPhase marks the pipeline phase subsequent scan traffic is attributed to.
@@ -270,6 +277,27 @@ func (m *Metrics) ProbeLayer(k int) {
 	m.probeLayers.Observe(int64(k))
 }
 
+// CheckpointWrite records one persisted snapshot of the given size and the
+// wall time its write took.
+func (m *Metrics) CheckpointWrite(bytes int64, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.ckptWrites.Inc()
+	m.ckptBytes.Add(bytes)
+	m.ckptTime.Add(d)
+}
+
+// ResumeHit records that the run resumed from a checkpoint recorded at the
+// given phase, skipping scansSkipped full database scans.
+func (m *Metrics) ResumeHit(phase, scansSkipped int) {
+	if m == nil {
+		return
+	}
+	m.resumedPhase.Set(int64(phase))
+	m.scansAvoided.Set(int64(scansSkipped))
+}
+
 // PhaseSnapshot is one phase's scan traffic and timing.
 type PhaseSnapshot struct {
 	Phase           int     `json:"phase"`
@@ -306,6 +334,12 @@ type Snapshot struct {
 	ProbeScans  int64             `json:"probe_scans"`
 	ProbeBatch  HistogramSnapshot `json:"probe_batch"`
 	ProbeLayers HistogramSnapshot `json:"probe_layers"`
+
+	CheckpointWrites int64   `json:"checkpoint_writes,omitempty"`
+	CheckpointBytes  int64   `json:"checkpoint_bytes,omitempty"`
+	CheckpointMillis float64 `json:"checkpoint_millis,omitempty"`
+	ResumedPhase     int64   `json:"resumed_phase,omitempty"`
+	ScansAvoided     int64   `json:"scans_avoided,omitempty"`
 
 	// Retry carries the scanner's pass/retry counters when the run used a
 	// retrying scanner (filled by the orchestrator, not by Metrics itself).
@@ -356,6 +390,11 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.ProbeBatch = m.probeBatch.Snapshot()
 	s.ProbeScans = s.ProbeBatch.Count
 	s.ProbeLayers = m.probeLayers.Snapshot()
+	s.CheckpointWrites = m.ckptWrites.Load()
+	s.CheckpointBytes = m.ckptBytes.Load()
+	s.CheckpointMillis = float64(m.ckptTime.Elapsed().Microseconds()) / 1000
+	s.ResumedPhase = m.resumedPhase.Load()
+	s.ScansAvoided = m.scansAvoided.Load()
 	return s
 }
 
@@ -391,6 +430,13 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		s.Probed, s.ProbeScans, s.ProbeBatch.Mean, s.ProbeBatch.Max)
 	if s.ProbeLayers.Count > 0 {
 		p("  layers: mean K %.1f, max K %d\n", s.ProbeLayers.Mean, s.ProbeLayers.Max)
+	}
+	if s.CheckpointWrites > 0 {
+		p("  checkpoints: %d writes, %d bytes, %.1f ms\n",
+			s.CheckpointWrites, s.CheckpointBytes, s.CheckpointMillis)
+	}
+	if s.ResumedPhase > 0 {
+		p("  resume: from phase %d, %d scans avoided\n", s.ResumedPhase, s.ScansAvoided)
 	}
 	if s.Retry.Attempts > 0 {
 		p("  retries: %d attempts, %d retried, %d transient, %d permanent\n",
