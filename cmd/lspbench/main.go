@@ -26,6 +26,7 @@ import (
 	"repro/internal/compat"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/pattern"
 	"repro/internal/seqdb"
 	"repro/internal/telemetry"
 )
@@ -45,6 +46,10 @@ type workload struct {
 	MotifLen       int     // motif length
 	PlantProb      float64 // per-sequence plant probability
 	Alpha          float64 // uniform noise rate
+	// Sparse mines with a banded compatibility matrix (each observed symbol
+	// explained only by itself and its ring neighbors) instead of the uniform
+	// one — the regime the incremental kernel's sparse window cache targets.
+	Sparse bool
 
 	// Mining.
 	MinMatch  float64
@@ -79,6 +84,13 @@ var grid = []workload{
 		N: 400, MinLen: 24, MaxLen: 40, M: 20,
 		NumMotifs: 3, MotifLen: 5, PlantProb: 0.50, Alpha: 0.15,
 		MinMatch: 0.18, Delta: 1e-2, PatLen: 6, MaxGap: 0, Sample: 200,
+		MemBudget: 500, MaxCand: 50000, Finalizer: core.BorderCollapsing,
+	},
+	{
+		Name: "sparse-band", quick: true,
+		N: 400, MinLen: 24, MaxLen: 40, M: 20,
+		NumMotifs: 3, MotifLen: 5, PlantProb: 0.45, Alpha: 0.10, Sparse: true,
+		MinMatch: 0.20, Delta: 1e-2, PatLen: 6, MaxGap: 1, Sample: 200,
 		MemBudget: 500, MaxCand: 50000, Finalizer: core.BorderCollapsing,
 	},
 	{
@@ -117,11 +129,19 @@ type result struct {
 	// means; small negatives are run-to-run noise.
 	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
 
-	Scans           int     `json:"scans"`
-	ProbeScans      int64   `json:"probe_scans"`
-	Phase1Ms        float64 `json:"phase1_ms"`
-	Phase2Ms        float64 `json:"phase2_ms"`
-	Phase3Ms        float64 `json:"phase3_ms"`
+	Scans      int     `json:"scans"`
+	ProbeScans int64   `json:"probe_scans"`
+	Phase1Ms   float64 `json:"phase1_ms"`
+	Phase2Ms   float64 `json:"phase2_ms"`
+	Phase3Ms   float64 `json:"phase3_ms"`
+	// Phase2LevelMs is the incremental run's per-level Phase 2 wall time.
+	Phase2LevelMs []float64 `json:"phase2_level_ms,omitempty"`
+	// Phase2NaiveMs re-mines the same sample with Phase2Kernel=KernelNaive;
+	// Phase2SpeedupX is naive over incremental, and LabelsIdentical confirms
+	// both kernels classified every evaluated pattern identically.
+	Phase2NaiveMs   float64 `json:"phase2_naive_ms"`
+	Phase2SpeedupX  float64 `json:"phase2_speedup_x"`
+	LabelsIdentical bool    `json:"labels_identical"`
 	SequencesPerSec float64 `json:"sequences_per_sec"`
 	PeakCandidates  int64   `json:"peak_candidates"`
 	Frequent        int     `json:"frequent"`
@@ -158,7 +178,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema: "lspbench/v1",
+		Schema: "lspbench/v2",
 		Go:     runtime.Version(),
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
@@ -214,12 +234,17 @@ func bench(w workload, runs int, seed int64) (result, error) {
 	if err != nil {
 		return result{}, err
 	}
-	c, err := compat.UniformNoise(w.M, w.Alpha)
+	var c compat.Source
+	if w.Sparse {
+		c, err = bandedMatrix(w.M)
+	} else {
+		c, err = compat.UniformNoise(w.M, w.Alpha)
+	}
 	if err != nil {
 		return result{}, err
 	}
 
-	mine := func(metrics *telemetry.Metrics, runSeed int64) (*core.Result, time.Duration, error) {
+	mine := func(metrics *telemetry.Metrics, runSeed int64, kernel core.Phase2Kernel) (*core.Result, time.Duration, error) {
 		start := time.Now()
 		res, err := core.Mine(db, c, core.Config{
 			MinMatch:              w.MinMatch,
@@ -230,6 +255,8 @@ func bench(w workload, runs int, seed int64) (result, error) {
 			MaxCandidatesPerLevel: w.MaxCand,
 			MemBudget:             w.MemBudget,
 			Finalizer:             w.Finalizer,
+			Workers:               runtime.NumCPU(),
+			Phase2Kernel:          kernel,
 			Rng:                   rand.New(rand.NewSource(runSeed)),
 			Metrics:               metrics,
 		})
@@ -242,12 +269,14 @@ func bench(w workload, runs int, seed int64) (result, error) {
 		Sample: w.Sample, MemBudget: w.MemBudget, Runs: runs,
 	}
 	var instrumented, plain time.Duration
+	var lastRes *core.Result
+	var lastSeed int64
 	for i := 0; i < runs; i++ {
 		// The same per-run seed drives the instrumented and plain runs, so
 		// both sequences of runs mine identical samples.
 		runSeed := seed + int64(i)
 		metrics := &telemetry.Metrics{}
-		res, d, err := mine(metrics, runSeed)
+		res, d, err := mine(metrics, runSeed, core.KernelIncremental)
 		if err != nil {
 			return result{}, err
 		}
@@ -267,19 +296,70 @@ func bench(w workload, runs int, seed int64) (result, error) {
 			r.PeakCandidates = snap.PeakCandidates
 			r.Frequent = res.Frequent.Len()
 			r.Border = res.Border.Len()
+			if res.Phase2 != nil {
+				r.Phase2LevelMs = res.Phase2.LevelMillis
+			}
+			lastRes, lastSeed = res, runSeed
 		}
-		if _, d, err := mine(nil, runSeed); err != nil {
+		if _, d, err := mine(nil, runSeed, core.KernelIncremental); err != nil {
 			return result{}, err
 		} else {
 			plain += d
 		}
 	}
+
+	// Mine the last run's sample once more with the naive per-pattern kernel:
+	// its Phase 2 wall time is the speedup baseline, and its classifications
+	// must agree with the incremental kernel's pattern for pattern.
+	naiveRes, _, err := mine(nil, lastSeed, core.KernelNaive)
+	if err != nil {
+		return result{}, err
+	}
+	r.Phase2NaiveMs = float64(naiveRes.Phase2Time.Microseconds()) / 1000
+	if r.Phase2Ms > 0 {
+		r.Phase2SpeedupX = r.Phase2NaiveMs / r.Phase2Ms
+	}
+	r.LabelsIdentical = sameLabels(lastRes, naiveRes)
 	r.NsPerOp = float64(instrumented.Nanoseconds()) / float64(runs)
 	r.PlainNsPerOp = float64(plain.Nanoseconds()) / float64(runs)
 	if r.PlainNsPerOp > 0 {
 		r.TelemetryOverheadPct = 100 * (r.NsPerOp - r.PlainNsPerOp) / r.PlainNsPerOp
 	}
 	return r, nil
+}
+
+// bandedMatrix is the sparse-band compatibility model: each observed symbol
+// is explained by itself (0.9) and its ring neighbors (0.06 / 0.04), so all
+// but three cells of every column are zero and window survival collapses
+// after a couple of positions.
+func bandedMatrix(m int) (compat.Source, error) {
+	cells := make([]compat.Cell, 0, 3*m)
+	for o := 0; o < m; o++ {
+		cells = append(cells,
+			compat.Cell{True: pattern.Symbol(o), Observed: pattern.Symbol(o), P: 0.9},
+			compat.Cell{True: pattern.Symbol((o + 1) % m), Observed: pattern.Symbol(o), P: 0.06},
+			compat.Cell{True: pattern.Symbol((o + m - 1) % m), Observed: pattern.Symbol(o), P: 0.04},
+		)
+	}
+	return compat.NewSparse(m, cells)
+}
+
+// sameLabels reports whether two runs' Phase 2 results evaluated the same
+// candidates and assigned every one the same classification.
+func sameLabels(a, b *core.Result) bool {
+	if a == nil || b == nil || a.Phase2 == nil || b.Phase2 == nil {
+		return false
+	}
+	if len(a.Phase2.Labels) != len(b.Phase2.Labels) {
+		return false
+	}
+	for k, la := range a.Phase2.Labels {
+		lb, ok := b.Phase2.Labels[k]
+		if !ok || la != lb {
+			return false
+		}
+	}
+	return true
 }
 
 func fatal(err error) {

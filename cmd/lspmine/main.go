@@ -7,9 +7,16 @@
 //	lspmine -db test.lsq -matrix compat.txt -min-match 0.01 \
 //	        [-max-len 8] [-max-gap 1] [-sample 1000] [-delta 1e-4] \
 //	        [-budget 10000] [-finalizer collapse|levelwise|none] [-seed 1] \
+//	        [-phase2-kernel incremental|naive] [-workers -1] \
 //	        [-retries 3] [-checkpoint run.lckp] [-resume] [-phase-timeout 30s] \
 //	        [-all] [-v] [-metrics json|text] \
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// Phase 2 scores each lattice level with the incremental prefix-extension
+// kernel by default, sharding the sample across -workers goroutines;
+// -phase2-kernel naive restores per-level recompilation (for verification —
+// the classifications are identical). Kernel cache statistics appear in
+// -metrics output as the kernel_* fields.
 //
 // -metrics collects pipeline telemetry (per-phase scan traffic and wall
 // time, lattice and probe counters) and prints it to stderr; the same
@@ -64,6 +71,8 @@ func main() {
 	maxCand := flag.Int("max-candidates", 50000, "Phase 2 per-level candidate cap (0 = unlimited; dense matrices explode without one)")
 	finalizer := flag.String("finalizer", "collapse", "Phase 3 strategy: collapse, implicit, levelwise or none")
 	engine := flag.String("engine", "candidates", "Phase 2 engine: candidates or sweep (sparse matrices)")
+	kernel := flag.String("phase2-kernel", "incremental", "Phase 2 sample kernel: incremental (prefix-extension cache) or naive (recompile per level)")
+	workers := flag.Int("workers", -1, "worker goroutines sharding Phase 2's sample and Phase 3's probe counting (-1 = all cores, 0/1 = sequential; results are identical for every count)")
 	retries := flag.Int("retries", 0, "retry transient scan failures up to this many times per pass (0 = no retrying)")
 	ckptPath := flag.String("checkpoint", "", "persist progress to this snapshot file (crash-atomic; resumable with -resume)")
 	resume := flag.Bool("resume", false, "resume from the -checkpoint snapshot, skipping every full scan it records")
@@ -150,6 +159,16 @@ func main() {
 		fatal(fmt.Errorf("unknown engine %q", *engine))
 	}
 
+	var p2k core.Phase2Kernel
+	switch *kernel {
+	case "incremental":
+		p2k = core.KernelIncremental
+	case "naive":
+		p2k = core.KernelNaive
+	default:
+		fatal(fmt.Errorf("unknown Phase 2 kernel %q (want incremental or naive)", *kernel))
+	}
+
 	// SIGINT/SIGTERM cancel the mining context: the run aborts within one
 	// sequence block, flushes a final checkpoint when -checkpoint is set,
 	// and reports the partial result instead of dying mid-scan. A second
@@ -181,6 +200,8 @@ func main() {
 		MaxCandidatesPerLevel: *maxCand,
 		MemBudget:             *budget,
 		Finalizer:             fin,
+		Workers:               *workers,
+		Phase2Kernel:          p2k,
 		Rng:                   rand.New(rand.NewSource(*seed)),
 		Metrics:               metrics,
 		PhaseTimeouts:         core.PhaseTimeouts{Phase3: *phaseTimeout},

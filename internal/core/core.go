@@ -77,6 +77,36 @@ const (
 	engineSweep      = "sweep"
 )
 
+// Phase2Kernel selects how the candidate-driven Phase 2 scores each lattice
+// level against the in-memory sample.
+type Phase2Kernel int
+
+const (
+	// KernelIncremental (the default) extends the cached per-sequence window
+	// prefix products of the previous level — one row lookup and one multiply
+	// per surviving window per candidate — with the sample sharded across
+	// Config.Workers goroutines. See match.Incremental; per-sequence values
+	// are bit-identical to the naive kernel's, sample averages agree within
+	// float64 sum reassociation.
+	KernelIncremental Phase2Kernel = iota
+	// KernelNaive recompiles every candidate and rescans the whole sample at
+	// each level (match.CompileSet) — the pre-kernel behavior, kept for
+	// verification and comparison benchmarks.
+	KernelNaive
+)
+
+// String names the kernel for experiment output.
+func (k Phase2Kernel) String() string {
+	switch k {
+	case KernelIncremental:
+		return "incremental"
+	case KernelNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("Phase2Kernel(%d)", int(k))
+	}
+}
+
 // PhaseTimeouts assigns each pipeline phase a wall-clock budget; zero means
 // unlimited. Phase 1 and Phase 2 budgets are hard deadlines — expiry fails
 // the run with a *PhaseError wrapping context.DeadlineExceeded (with
@@ -121,8 +151,20 @@ type Config struct {
 	Finalizer Finalizer
 	// Workers > 1 spreads each Phase 3 probe scan's counting work across
 	// that many goroutines (-1 = GOMAXPROCS); the scan itself remains one
-	// sequential pass. Default 0 (sequential).
+	// sequential pass. The same count shards Phase 2's incremental kernel
+	// across the sample. Results are identical for every worker count.
+	// Default 0 (sequential).
 	Workers int
+	// Phase2Kernel selects the sample-scoring kernel for the
+	// candidate-driven Phase 2. Default KernelIncremental. A tuning knob:
+	// classifications agree between kernels, so it is excluded from the
+	// checkpoint config hash.
+	Phase2Kernel Phase2Kernel
+	// Phase2CacheBudget bounds the incremental kernel's prefix cache in
+	// bytes (0 = match.DefaultCacheBudget, 256 MiB; negative = unlimited).
+	// Exceeding it falls back to compiled-matcher recomputation for the
+	// overflowing patterns — slower, never wrong.
+	Phase2CacheBudget int64
 	// Rng drives the sampling; required for reproducibility.
 	Rng *rand.Rand
 	// Metrics, when non-nil, collects pipeline telemetry: per-phase scan
@@ -189,6 +231,9 @@ func (c *Config) validate() error {
 	}
 	if c.Finalizer < BorderCollapsing || c.Finalizer > BorderCollapsingImplicit {
 		return fmt.Errorf("core: unknown finalizer %d", c.Finalizer)
+	}
+	if c.Phase2Kernel < KernelIncremental || c.Phase2Kernel > KernelNaive {
+		return fmt.Errorf("core: unknown Phase 2 kernel %d", c.Phase2Kernel)
 	}
 	if err := c.PhaseTimeouts.validate(); err != nil {
 		return err

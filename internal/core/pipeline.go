@@ -262,7 +262,10 @@ func phase1Run(ctx context.Context, db seqdb.Scanner, c compat.Source, n int, rn
 	return acc.Matches(delivered), sampler.Samples(), priorDraws + sampler.Draws(), nil
 }
 
-// phase2Candidates is the candidate-generation Phase 2 (Algorithm 4.2).
+// phase2Candidates is the candidate-generation Phase 2 (Algorithm 4.2). By
+// default each level is scored by the incremental prefix-extension kernel,
+// sharded across cfg.Workers; the kernel's cache is released as soon as the
+// level-wise run returns.
 func phase2Candidates(ctx context.Context, c compat.Source, cfg *Config, symbolMatch []float64, sample [][]pattern.Symbol) (*miner.Result, error) {
 	opts := miner.Options{
 		MaxLen:                cfg.MaxLen,
@@ -270,6 +273,16 @@ func phase2Candidates(ctx context.Context, c compat.Source, cfg *Config, symbolM
 		MaxCandidatesPerLevel: cfg.MaxCandidatesPerLevel,
 		Metrics:               cfg.Metrics,
 	}
-	return miner.SampleChernoffContext(ctx, c.Size(), miner.MatchSampleValuer(c, sample),
+	valuer := miner.MatchSampleValuer(c, sample)
+	if cfg.Phase2Kernel == KernelIncremental {
+		var inc *match.Incremental
+		valuer, inc = miner.IncrementalSampleValuer(c, sample, miner.IncrementalConfig{
+			Workers: cfg.Workers,
+			Budget:  cfg.Phase2CacheBudget,
+			Metrics: cfg.Metrics,
+		})
+		defer inc.Release()
+	}
+	return miner.SampleChernoffContext(ctx, c.Size(), valuer,
 		symbolMatch, cfg.MinMatch, cfg.Delta, len(sample), opts)
 }

@@ -65,7 +65,9 @@ type PhaseReport struct {
 	SampleAmbiguous    int     `json:"sample_ambiguous"`
 	ProbedPatterns     int     `json:"probed_patterns"`
 	CandidatesPerLevel []int   `json:"candidates_per_level"`
-	Truncated          bool    `json:"truncated"`
+	// Phase2LevelMillis is the wall time each Phase 2 lattice level took.
+	Phase2LevelMillis []float64 `json:"phase2_level_ms,omitempty"`
+	Truncated         bool      `json:"truncated"`
 }
 
 // NewReport assembles a Report from a mining result. alphabet may be nil,
@@ -89,6 +91,7 @@ func NewReport(res *Result, minMatch float64, sequences int, alphabet *pattern.A
 			SampleFrequent:     res.Phase2.Frequent.Len(),
 			SampleAmbiguous:    res.Phase2.Ambiguous.Len(),
 			CandidatesPerLevel: res.Phase2.CandidatesPerLevel,
+			Phase2LevelMillis:  res.Phase2.LevelMillis,
 			Truncated:          res.Phase2.Truncated,
 		}
 	}

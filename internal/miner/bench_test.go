@@ -1,0 +1,47 @@
+package miner
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/compat"
+	"repro/internal/pattern"
+)
+
+// BenchmarkSampleChernoff runs the full Phase 2 lattice over one sample with
+// the naive per-pattern valuer and with the incremental prefix-extension
+// kernel at several worker counts.
+func BenchmarkSampleChernoff(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	motif := []pattern.Symbol{2, 5, 1, 4, 7}
+	sample := incTestSample(200, 40, 10, motif, rng)
+	c, err := compat.UniformNoise(10, 0.12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sm := symbolMatches(c, sample)
+	opts := Options{MaxLen: 6, MaxGap: 1}
+
+	run := func(b *testing.B, valuer func() Valuer) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := SampleChernoff(c.Size(), valuer(), sm, 0.2, 1e-2, len(sample), opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("naive", func(b *testing.B) {
+		run(b, func() Valuer { return MatchSampleValuer(c, sample) })
+	})
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(map[int]string{1: "incremental-1w", 4: "incremental-4w"}[workers], func(b *testing.B) {
+			run(b, func() Valuer {
+				v, _ := IncrementalSampleValuer(c, sample, IncrementalConfig{Workers: workers})
+				return v
+			})
+		})
+	}
+}

@@ -64,10 +64,18 @@ func ParallelMatchDBValuerContext(ctx context.Context, db seqdb.Scanner, c compa
 				}
 				sets[i] = set
 			}
-			block := make([][]pattern.Symbol, 0, blockSize)
+			// The scanner may reuse its buffer (DiskDB does), so delivered
+			// sequences are copied — into a pooled per-block arena reused
+			// across flushes, not a fresh slice per sequence. flush is
+			// synchronous (it joins the workers before returning), so the
+			// arena is free for reuse the moment it returns; steady-state
+			// the accumulator allocates nothing.
+			arena := make([]pattern.Symbol, 0, blockSize*64)
+			lens := make([]int, 0, blockSize)
+			block := make([][]pattern.Symbol, blockSize)
 			attemptSets := sets
 			flush := func() error {
-				if len(block) == 0 {
+				if len(lens) == 0 {
 					return nil
 				}
 				if ctx != nil {
@@ -75,28 +83,35 @@ func ParallelMatchDBValuerContext(ctx context.Context, db seqdb.Scanner, c compa
 						return err
 					}
 				}
+				// Materialize the block views only now: appends may have
+				// regrown the arena mid-block, and slicing the final backing
+				// array keeps every view valid.
+				off := 0
+				for i, l := range lens {
+					block[i] = arena[off : off+l : off+l]
+					off += l
+				}
+				filled := block[:len(lens)]
 				var wg sync.WaitGroup
 				wg.Add(w)
 				for i := 0; i < w; i++ {
 					go func(set *match.CompiledSet) {
 						defer wg.Done()
-						for _, seq := range block {
+						for _, seq := range filled {
 							set.Observe(seq)
 						}
 					}(attemptSets[i])
 				}
 				wg.Wait()
-				block = block[:0]
+				arena = arena[:0]
+				lens = lens[:0]
 				return nil
 			}
 			finalFlush = flush
 			return func(id int, seq []pattern.Symbol) error {
-				// The scanner may reuse its buffer (DiskDB does), so block
-				// entries are copies.
-				cp := make([]pattern.Symbol, len(seq))
-				copy(cp, seq)
-				block = append(block, cp)
-				if len(block) == blockSize {
+				arena = append(arena, seq...)
+				lens = append(lens, len(seq))
+				if len(lens) == blockSize {
 					return flush()
 				}
 				return nil

@@ -175,6 +175,14 @@ type Metrics struct {
 	ckptTime     Timer   // wall time spent writing snapshots
 	resumedPhase Gauge   // phase the run resumed from (0 = fresh run)
 	scansAvoided Gauge   // full scans skipped by resuming
+
+	// Phase 2 incremental-kernel accounting (prefix-extension cache).
+	kernelExtended  Counter // pattern evaluations served by prefix extension
+	kernelScratch   Counter // pattern evaluations recomputed from scratch
+	kernelWindows   Counter // surviving windows cached across all levels
+	kernelPeakBytes Gauge   // high-water mark of prefix-cache memory
+	kernelEvicted   Counter // cache entries dropped by the memory budget
+	kernelFallbacks Counter // levels where the budget forced fallback scoring
 }
 
 // SetPhase marks the pipeline phase subsequent scan traffic is attributed to.
@@ -288,6 +296,26 @@ func (m *Metrics) CheckpointWrite(bytes int64, d time.Duration) {
 	m.ckptTime.Add(d)
 }
 
+// KernelLevel records one Phase 2 lattice level scored by the incremental
+// prefix-extension kernel: how many pattern evaluations were served by
+// extending a cached parent vs recomputed from scratch, the surviving windows
+// cached for the next level, the bytes held by the cache when the level
+// closed, the entries the memory budget evicted, and whether the budget
+// forced fallback scoring at this level.
+func (m *Metrics) KernelLevel(extended, scratch, windows, bytes, evicted int64, fallback bool) {
+	if m == nil {
+		return
+	}
+	m.kernelExtended.Add(extended)
+	m.kernelScratch.Add(scratch)
+	m.kernelWindows.Add(windows)
+	m.kernelPeakBytes.SetMax(bytes)
+	m.kernelEvicted.Add(evicted)
+	if fallback {
+		m.kernelFallbacks.Inc()
+	}
+}
+
 // ResumeHit records that the run resumed from a checkpoint recorded at the
 // given phase, skipping scansSkipped full database scans.
 func (m *Metrics) ResumeHit(phase, scansSkipped int) {
@@ -334,6 +362,13 @@ type Snapshot struct {
 	ProbeScans  int64             `json:"probe_scans"`
 	ProbeBatch  HistogramSnapshot `json:"probe_batch"`
 	ProbeLayers HistogramSnapshot `json:"probe_layers"`
+
+	KernelExtended  int64 `json:"kernel_extended,omitempty"`
+	KernelScratch   int64 `json:"kernel_scratch,omitempty"`
+	KernelWindows   int64 `json:"kernel_windows,omitempty"`
+	KernelPeakBytes int64 `json:"kernel_peak_bytes,omitempty"`
+	KernelEvicted   int64 `json:"kernel_evicted,omitempty"`
+	KernelFallbacks int64 `json:"kernel_fallbacks,omitempty"`
 
 	CheckpointWrites int64   `json:"checkpoint_writes,omitempty"`
 	CheckpointBytes  int64   `json:"checkpoint_bytes,omitempty"`
@@ -386,6 +421,12 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.Infrequent = m.labels[LabelInfrequent].Load()
 	s.Ambiguous = m.labels[LabelAmbiguous].Load()
 	s.Frequent = m.labels[LabelFrequent].Load()
+	s.KernelExtended = m.kernelExtended.Load()
+	s.KernelScratch = m.kernelScratch.Load()
+	s.KernelWindows = m.kernelWindows.Load()
+	s.KernelPeakBytes = m.kernelPeakBytes.Load()
+	s.KernelEvicted = m.kernelEvicted.Load()
+	s.KernelFallbacks = m.kernelFallbacks.Load()
 	s.Probed = m.probed.Load()
 	s.ProbeBatch = m.probeBatch.Snapshot()
 	s.ProbeScans = s.ProbeBatch.Count
@@ -426,6 +467,10 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	p("  sample: %d sequences\n", s.SampleSize)
 	p("  lattice: %d levels, %d candidates (peak level %d); labels %d frequent / %d ambiguous / %d infrequent\n",
 		s.Levels, s.Candidates, s.PeakCandidates, s.Frequent, s.Ambiguous, s.Infrequent)
+	if s.KernelExtended > 0 || s.KernelScratch > 0 {
+		p("  phase-2 kernel: %d extended / %d scratch, %d windows cached (peak %d bytes), %d evicted, %d fallback levels\n",
+			s.KernelExtended, s.KernelScratch, s.KernelWindows, s.KernelPeakBytes, s.KernelEvicted, s.KernelFallbacks)
+	}
 	p("  probes: %d patterns in %d scans (batch mean %.1f, max %d)\n",
 		s.Probed, s.ProbeScans, s.ProbeBatch.Mean, s.ProbeBatch.Max)
 	if s.ProbeLayers.Count > 0 {
