@@ -1,0 +1,199 @@
+package border
+
+import (
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+// singleLevelRegion is an ambiguous region whose floor and ceiling coincide:
+// three 2-patterns, none a subpattern of another, so no probe outcome can
+// propagate to a sibling.
+func singleLevelRegion() *pattern.Set {
+	return pattern.NewSet(
+		pattern.MustNew(d1, d2),
+		pattern.MustNew(d2, d3),
+		pattern.MustNew(d3, d4),
+	)
+}
+
+func TestPickHalfwayEdgeCases(t *testing.T) {
+	cases := []struct {
+		name       string
+		pending    *pattern.Set
+		budget     int
+		wantLen    int
+		wantLevels []int // expected K of each pick, in order
+	}{
+		// lo == hi: the "halfway" schedule degenerates to the single level.
+		{"single-level-budget-2", singleLevelRegion(), 2, 2, []int{2, 2}},
+		{"single-level-budget-covers-all", singleLevelRegion(), 10, 3, []int{2, 2, 2}},
+		// A chain visits the halfway level before the interval's ends.
+		{"chain-subdivision-order", chain(3), 10, 3, []int{2, 1, 3}},
+		{"chain-budget-1-picks-halfway", chain(3), 1, 1, []int{2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := PickHalfway(tc.pending, tc.budget)
+			if len(got) != tc.wantLen {
+				t.Fatalf("picked %d patterns, want %d: %v", len(got), tc.wantLen, got)
+			}
+			for i, p := range got {
+				if p.K() != tc.wantLevels[i] {
+					t.Errorf("pick %d is %v (level %d), want level %d", i, p, p.K(), tc.wantLevels[i])
+				}
+			}
+		})
+	}
+}
+
+func TestCollapseSingleLevelRegion(t *testing.T) {
+	// With lo == hi there is nothing to collapse: every member must be probed
+	// individually (no Apriori propagation between same-level siblings), in
+	// ceil(3/budget) scans.
+	for _, tc := range []struct {
+		name         string
+		cutoff       int // levelOracle: frequent iff K <= cutoff
+		budget       int
+		wantScans    int
+		wantProbed   int
+		wantFrequent int
+	}{
+		{"all-infrequent-budget-2", 1, 2, 2, 3, 0},
+		{"all-frequent-budget-2", 2, 2, 2, 3, 3},
+		{"all-frequent-one-scan", 2, 10, 1, 3, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			oracle := &levelOracle{cutoff: tc.cutoff}
+			res, err := Collapse(Config{MinMatch: 0.5, MemBudget: tc.budget, Probe: oracle.probe},
+				pattern.NewSet(), singleLevelRegion())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Scans != tc.wantScans || res.Probed != tc.wantProbed {
+				t.Errorf("scans=%d probed=%d, want %d/%d", res.Scans, res.Probed, tc.wantScans, tc.wantProbed)
+			}
+			if res.Frequent.Len() != tc.wantFrequent {
+				t.Errorf("frequent=%d, want %d", res.Frequent.Len(), tc.wantFrequent)
+			}
+			if oracle.calls != res.Scans {
+				t.Errorf("Scans=%d but probe saw %d calls", res.Scans, oracle.calls)
+			}
+		})
+	}
+}
+
+func TestCollapseAllInfrequentRegion(t *testing.T) {
+	// Chain d1 < d1d2 < d1d2d3, everything infrequent. With budget 1 the
+	// halfway probe (d1d2) kills d1d2d3 by Apriori, then d1 is probed: two
+	// scans, two probes resolve three patterns. A large budget probes the
+	// whole region in one scan.
+	t.Run("budget-1", func(t *testing.T) {
+		oracle := &levelOracle{cutoff: 0}
+		res, err := Collapse(Config{MinMatch: 0.5, MemBudget: 1, Probe: oracle.probe},
+			pattern.NewSet(), chain(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Scans != 2 || res.Probed != 2 {
+			t.Errorf("scans=%d probed=%d, want 2/2 (superpattern killed by Apriori)", res.Scans, res.Probed)
+		}
+		if res.Frequent.Len() != 0 || res.Border.Len() != 0 {
+			t.Errorf("frequent=%v border=%v, want both empty",
+				res.Frequent.Patterns(), res.Border.Patterns())
+		}
+		if _, probed := res.Exact[pattern.MustNew(d1, d2, d3).Key()]; probed {
+			t.Error("d1d2d3 was probed despite its infrequent subpattern")
+		}
+	})
+	t.Run("large-budget", func(t *testing.T) {
+		oracle := &levelOracle{cutoff: 0}
+		res, err := Collapse(Config{MinMatch: 0.5, MemBudget: 100, Probe: oracle.probe},
+			pattern.NewSet(), chain(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Scans != 1 || res.Probed != 3 {
+			t.Errorf("scans=%d probed=%d, want 1/3 (whole region in one batch)", res.Scans, res.Probed)
+		}
+		if res.Frequent.Len() != 0 {
+			t.Errorf("frequent=%v, want empty", res.Frequent.Patterns())
+		}
+	})
+}
+
+func TestCollapseImplicitSingleLevelGap(t *testing.T) {
+	// The borders are adjacent: lower = {d1, d2}, ceiling = {d1d2}. The
+	// halfway construction yields no strictly-between layer, so the ceiling
+	// itself is the only probe — one scan, one probe, either way the outcome
+	// goes.
+	lower := pattern.NewSet(pattern.MustNew(d1), pattern.MustNew(d2))
+	upper := pattern.NewSet(pattern.MustNew(d1, d2))
+	for _, tc := range []struct {
+		name         string
+		cutoff       int
+		wantFrequent int // closure size
+		wantBorder   int
+	}{
+		// Frequent probe: closure of border {d1d2} is {d1d2, d1, d2}.
+		{"probe-frequent", 2, 3, 1},
+		// Infrequent probe: border stays {d1, d2}.
+		{"probe-infrequent", 1, 2, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			oracle := &levelOracle{cutoff: tc.cutoff}
+			res, err := CollapseImplicit(Config{MinMatch: 0.5, MemBudget: 4, Probe: oracle.probe}, lower, upper)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Scans != 1 || res.Probed != 1 {
+				t.Errorf("scans=%d probed=%d, want 1/1", res.Scans, res.Probed)
+			}
+			if res.Frequent.Len() != tc.wantFrequent || res.Border.Len() != tc.wantBorder {
+				t.Errorf("frequent=%v border=%v, want %d/%d members",
+					res.Frequent.Patterns(), res.Border.Patterns(), tc.wantFrequent, tc.wantBorder)
+			}
+		})
+	}
+}
+
+func TestCollapseImplicitAllInfrequentRegion(t *testing.T) {
+	// lower = {d1}, ceiling = {d1d1d1}, nothing above level 1 frequent. The
+	// implicit region is {d1d1, d1*d1, d1d1d1}; once both level-2 members are
+	// excluded, the ceiling is dead by Apriori and is never probed.
+	lower := pattern.NewSet(pattern.MustNew(d1))
+	upper := pattern.NewSet(pattern.MustNew(d1, d1, d1))
+	top := pattern.MustNew(d1, d1, d1)
+	t.Run("large-budget", func(t *testing.T) {
+		oracle := &levelOracle{cutoff: 1}
+		res, err := CollapseImplicit(Config{MinMatch: 0.5, MemBudget: 8, Probe: oracle.probe}, lower, upper)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One batch holds both level-2 members plus the ceiling.
+		if res.Scans != 1 || res.Probed != 3 {
+			t.Errorf("scans=%d probed=%d, want 1/3", res.Scans, res.Probed)
+		}
+		if res.Frequent.Len() != 1 || !res.Frequent.Contains(pattern.MustNew(d1)) {
+			t.Errorf("frequent=%v, want exactly {d1}", res.Frequent.Patterns())
+		}
+	})
+	t.Run("budget-1", func(t *testing.T) {
+		oracle := &levelOracle{cutoff: 1}
+		res, err := CollapseImplicit(Config{MinMatch: 0.5, MemBudget: 1, Probe: oracle.probe}, lower, upper)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two scans exclude the two level-2 members; the ceiling dies by
+		// Apriori without a probe.
+		if res.Scans != 2 || res.Probed != 2 {
+			t.Errorf("scans=%d probed=%d, want 2/2", res.Scans, res.Probed)
+		}
+		if _, probed := res.Exact[top.Key()]; probed {
+			t.Error("ceiling was probed despite an excluded subpattern")
+		}
+		if res.Frequent.Len() != 1 {
+			t.Errorf("frequent=%v, want exactly {d1}", res.Frequent.Patterns())
+		}
+	})
+}

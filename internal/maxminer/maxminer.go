@@ -125,7 +125,11 @@ func (r *run) mine(m int) error {
 		}
 		var toCount, covered []pattern.Pattern
 		for _, q := range next {
-			if r.chains.Covers(q) {
+			// Covered means q is a subpattern of a confirmed chain — the
+			// Apriori direction: subpatterns of a frequent pattern are
+			// frequent. (The superpattern direction would be unsound: a
+			// superpattern of a frequent chain can still be infrequent.)
+			if r.chains.CoveredBy(q) {
 				covered = append(covered, q)
 				r.res.LookaheadHits++
 			} else {
@@ -254,8 +258,8 @@ func (r *run) buildLookaheads(toCount []pattern.Pattern) []pattern.Pattern {
 		if _, decided := r.labels[ck]; decided {
 			continue
 		}
-		if r.chains.Covers(chain) {
-			continue
+		if r.chains.CoveredBy(chain) {
+			continue // a subpattern of a confirmed chain is already known frequent
 		}
 		seenChain[ck] = true
 		out = append(out, chain)

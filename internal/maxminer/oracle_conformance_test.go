@@ -1,0 +1,23 @@
+// Conformance slice for the Max-Miner baseline (external test package:
+// internal/oracle imports maxminer). Seed 8465343395341014598 is the
+// regression case for the lookahead coverage direction: using
+// chains.Covers(q) — q a *superpattern* of a confirmed chain — labeled
+// uncounted superpatterns frequent, which Apriori does not license; the
+// sound direction is chains.CoveredBy(q), q a *subpattern* of a chain.
+package maxminer_test
+
+import (
+	"testing"
+
+	"repro/internal/oracle"
+)
+
+func TestMaxMinerOracleConformance(t *testing.T) {
+	engines := []oracle.Engine{oracle.MaxMinerEngine()}
+	seeds := append([]int64{8465343395341014598}, oracle.CommittedSeeds[:8]...)
+	for _, seed := range seeds {
+		if d := oracle.CheckSeed(seed, engines); d != nil {
+			t.Fatalf("Max-Miner diverged from the oracle:\n%s", d)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/compat"
 	"repro/internal/pattern"
 	"repro/internal/telemetry"
+	"repro/internal/testutil"
 )
 
 func incTestMatrix(t *testing.T, m int, alpha float64) compat.Source {
@@ -117,7 +118,7 @@ func runBoth(t *testing.T, c compat.Source, sample [][]pattern.Symbol, cfg Incre
 }
 
 func TestSampleChernoffIncrementalEquivalence(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := testutil.Rng(t)
 	motif := []pattern.Symbol{2, 5, 1, 4}
 	sample := incTestSample(120, 24, 8, motif, rng)
 	opts := Options{MaxLen: 5, MaxGap: 1}
@@ -143,7 +144,7 @@ func TestSampleChernoffIncrementalEquivalence(t *testing.T) {
 }
 
 func TestIncrementalValuerTelemetry(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := testutil.Rng(t)
 	sample := incTestSample(64, 20, 6, []pattern.Symbol{1, 3, 2}, rng)
 	c := incTestMatrix(t, 6, 0.08)
 	metrics := &telemetry.Metrics{}

@@ -1,0 +1,186 @@
+// Package oracle is the conformance reference for the whole mining stack: a
+// deliberately naive implementation of the paper's match model (Definitions
+// 3.5–3.7), of the classic support model, and of exhaustive frequent-pattern
+// enumeration, written straight from the definitions. It shares no code with
+// internal/match, internal/support, or any mining engine, so a bug in an
+// optimized path cannot cancel against the same bug here.
+//
+// Two deliberate implementation differences keep the oracle independent of
+// the code it checks:
+//
+//   - Products are accumulated in log space (a sum of math.Log terms folded
+//     back through math.Exp), a different floating-point evaluation order
+//     than the optimized kernels' running products. Agreement is therefore
+//     asserted within a tolerance, never bitwise — see BoundaryTol in the
+//     differential driver for how threshold comparisons stay meaningful.
+//   - There is no pruning of any kind: no early termination, no first-symbol
+//     filters, no sparse shortcuts, no candidate generation. Every window of
+//     every sequence is evaluated for every pattern of the bounded space.
+//
+// The package also hosts the metamorphic property harness (properties.go)
+// and the seeded differential driver (diff.go) that cross-check the real
+// engines against this reference; cmd/lspverify runs the corpus in CI.
+package oracle
+
+import (
+	"math"
+
+	"repro/internal/compat"
+	"repro/internal/pattern"
+)
+
+// Segment computes M(P,s) for a segment s of exactly the pattern's length
+// (Definition 3.5): the product over non-eternal positions of C(d_i, s_i),
+// accumulated in log space. Eternal positions contribute factor 1. It panics
+// if the lengths differ, mirroring the definition's precondition.
+func Segment(c compat.Source, p pattern.Pattern, seg []pattern.Symbol) float64 {
+	if len(p) != len(seg) {
+		panic("oracle: segment length differs from pattern length")
+	}
+	logProd := 0.0
+	for i, d := range p {
+		if d.IsEternal() {
+			continue
+		}
+		v := c.C(d, seg[i])
+		if v == 0 {
+			return 0
+		}
+		logProd += math.Log(v)
+	}
+	if logProd == 0 {
+		return 1 // every factor was exactly 1; keep the identity case exact
+	}
+	return math.Exp(logProd)
+}
+
+// Sequence computes M(P,S) (Definition 3.6): the maximum of Segment over
+// every window of seq of the pattern's length, 0 when the sequence is
+// shorter than the pattern. Every window is evaluated in full.
+func Sequence(c compat.Source, p pattern.Pattern, seq []pattern.Symbol) float64 {
+	l := len(p)
+	if l == 0 || len(seq) < l {
+		return 0
+	}
+	best := 0.0
+	for i := 0; i+l <= len(seq); i++ {
+		if v := Segment(c, p, seq[i:i+l]); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// DBMatch computes the database match (Definition 3.7): the average of
+// Sequence over every sequence of db. An empty database yields 0.
+func DBMatch(c compat.Source, p pattern.Pattern, db [][]pattern.Symbol) float64 {
+	if len(db) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, seq := range db {
+		sum += Sequence(c, p, seq)
+	}
+	return sum / float64(len(db))
+}
+
+// Occurs reports whether some window of seq matches p exactly, with eternal
+// positions matching any symbol — the classic support model's containment
+// test, reimplemented here independently of internal/support.
+func Occurs(p pattern.Pattern, seq []pattern.Symbol) bool {
+	l := len(p)
+	if l == 0 || len(seq) < l {
+		return false
+	}
+	for i := 0; i+l <= len(seq); i++ {
+		hit := true
+		for j, d := range p {
+			if !d.IsEternal() && seq[i+j] != d {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			return true
+		}
+	}
+	return false
+}
+
+// DBSupport computes the fraction of sequences containing p.
+func DBSupport(p pattern.Pattern, db [][]pattern.Symbol) float64 {
+	if len(db) == 0 {
+		return 0
+	}
+	n := 0
+	for _, seq := range db {
+		if Occurs(p, seq) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(db))
+}
+
+// Enumerate lists every valid pattern (Definition 3.2: non-empty, no leading
+// or trailing eternal position) over m symbols with total length at most
+// maxLen and internal eternal runs at most maxGap — the exact pattern space
+// the bounded miners explore. The order is deterministic (depth-first by
+// symbol, then by gap).
+func Enumerate(m, maxLen, maxGap int) []pattern.Pattern {
+	var out []pattern.Pattern
+	var cur pattern.Pattern
+	var rec func(gapRun int)
+	rec = func(gapRun int) {
+		if len(cur) > 0 && !cur[len(cur)-1].IsEternal() {
+			out = append(out, cur.Clone())
+		}
+		if len(cur) >= maxLen {
+			return
+		}
+		for d := 0; d < m; d++ {
+			cur = append(cur, pattern.Symbol(d))
+			rec(0)
+			cur = cur[:len(cur)-1]
+		}
+		// A gap may only continue a started pattern and must leave room for
+		// a closing concrete symbol.
+		if len(cur) > 0 && gapRun < maxGap && len(cur)+1 < maxLen {
+			cur = append(cur, pattern.Eternal)
+			rec(gapRun + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// FrequentMatch computes, by brute force, the exact frequent set of db under
+// the match measure within the bounded pattern space: every enumerated
+// pattern with DBMatch >= minMatch. It returns the set and the match value
+// of every enumerated pattern keyed by Pattern.Key.
+func FrequentMatch(c compat.Source, db [][]pattern.Symbol, minMatch float64, maxLen, maxGap int) (*pattern.Set, map[string]float64) {
+	frequent := pattern.NewSet()
+	values := make(map[string]float64)
+	for _, p := range Enumerate(c.Size(), maxLen, maxGap) {
+		v := DBMatch(c, p, db)
+		values[p.Key()] = v
+		if v >= minMatch {
+			frequent.Add(p)
+		}
+	}
+	return frequent, values
+}
+
+// FrequentSupport is FrequentMatch under the classic support measure.
+func FrequentSupport(m int, db [][]pattern.Symbol, minSupport float64, maxLen, maxGap int) (*pattern.Set, map[string]float64) {
+	frequent := pattern.NewSet()
+	values := make(map[string]float64)
+	for _, p := range Enumerate(m, maxLen, maxGap) {
+		v := DBSupport(p, db)
+		values[p.Key()] = v
+		if v >= minSupport {
+			frequent.Add(p)
+		}
+	}
+	return frequent, values
+}

@@ -1,0 +1,159 @@
+// Metamorphic property harness: invariants of the match model that must
+// hold for any correct implementation, checked against the oracle itself and
+// usable against the optimized implementations. Each check returns nil or an
+// error describing the violated relation with the values involved, so a
+// failing property in lspverify or a test prints a complete repro.
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/compat"
+	"repro/internal/pattern"
+	"repro/internal/support"
+)
+
+// PropertyTol is the tolerance for property comparisons that are exact in
+// real arithmetic but accumulate float64 noise (log-space round trips,
+// re-ordered sums).
+const PropertyTol = 1e-9
+
+// CheckApriori verifies Claims 3.1/3.2 on one sequence: every immediate
+// subpattern of p matches seq at least as well as p itself, so the match is
+// anti-monotone going up the lattice (the Apriori property every miner's
+// pruning relies on).
+func CheckApriori(c compat.Source, p pattern.Pattern, seq []pattern.Symbol) error {
+	super := Sequence(c, p, seq)
+	for _, sub := range p.ImmediateSubpatterns() {
+		if v := Sequence(c, sub, seq); v < super-PropertyTol {
+			return fmt.Errorf("oracle: Apriori violated: M(%v)=%v < M(%v)=%v on %v",
+				sub, v, p, super, seq)
+		}
+	}
+	return nil
+}
+
+// CheckPermutationInvariance verifies that the database match is invariant
+// under reordering the database: the average over sequences cannot depend on
+// scan order. perm must be a permutation of [0, len(db)).
+func CheckPermutationInvariance(c compat.Source, p pattern.Pattern, db [][]pattern.Symbol, perm []int) error {
+	if len(perm) != len(db) {
+		return fmt.Errorf("oracle: permutation has %d entries for %d sequences", len(perm), len(db))
+	}
+	shuffled := make([][]pattern.Symbol, len(db))
+	for i, j := range perm {
+		shuffled[i] = db[j]
+	}
+	a, b := DBMatch(c, p, db), DBMatch(c, p, shuffled)
+	if diff := a - b; diff > PropertyTol || diff < -PropertyTol {
+		return fmt.Errorf("oracle: permutation changed DB match of %v: %v vs %v", p, a, b)
+	}
+	return nil
+}
+
+// CheckIdentitySupport verifies the §3 degeneration: under the noise-free
+// identity matrix the match of a pattern in a sequence is exactly the classic
+// support indicator — 1 if the pattern occurs (internal/support's Occurs and
+// the oracle's own independent Occurs must agree), 0 otherwise.
+func CheckIdentitySupport(m int, p pattern.Pattern, seq []pattern.Symbol) error {
+	id := compat.Identity(m)
+	got := Sequence(id, p, seq)
+	oracleOccurs := Occurs(p, seq)
+	supportOccurs := support.Occurs(p, seq)
+	if oracleOccurs != supportOccurs {
+		return fmt.Errorf("oracle: occurrence of %v in %v: oracle %v, support %v",
+			p, seq, oracleOccurs, supportOccurs)
+	}
+	want := 0.0
+	if oracleOccurs {
+		want = 1.0
+	}
+	if got != want {
+		return fmt.Errorf("oracle: identity-matrix match of %v in %v is %v, support says %v",
+			p, seq, got, want)
+	}
+	if sv := (support.Support{}).Value(p, seq); sv != want {
+		return fmt.Errorf("oracle: support.Value of %v in %v is %v, want %v", p, seq, sv, want)
+	}
+	return nil
+}
+
+// CheckEternalInvariance verifies the eternal-symbol contract of Definition
+// 3.5: the observed symbols aligned with a pattern's eternal positions never
+// influence a segment's match. The segment is rewritten at every eternal
+// position with symbols drawn from rng and the match must not move at all.
+func CheckEternalInvariance(c compat.Source, p pattern.Pattern, seg []pattern.Symbol, rng *rand.Rand) error {
+	if len(p) != len(seg) {
+		return fmt.Errorf("oracle: segment length %d differs from pattern length %d", len(seg), len(p))
+	}
+	want := Segment(c, p, seg)
+	scrambled := make([]pattern.Symbol, len(seg))
+	copy(scrambled, seg)
+	for i, d := range p {
+		if d.IsEternal() {
+			scrambled[i] = pattern.Symbol(rng.Intn(c.Size()))
+		}
+	}
+	if got := Segment(c, p, scrambled); got != want {
+		return fmt.Errorf("oracle: eternal positions leaked into the match of %v: %v (on %v) vs %v (on %v)",
+			p, want, seg, got, scrambled)
+	}
+	return nil
+}
+
+// CheckPaddingMonotone verifies the sliding-window maximum of Definition
+// 3.6: padding a sequence on either side can only add windows, so the match
+// never decreases.
+func CheckPaddingMonotone(c compat.Source, p pattern.Pattern, seq, prefix, suffix []pattern.Symbol) error {
+	padded := make([]pattern.Symbol, 0, len(prefix)+len(seq)+len(suffix))
+	padded = append(padded, prefix...)
+	padded = append(padded, seq...)
+	padded = append(padded, suffix...)
+	inner, outer := Sequence(c, p, seq), Sequence(c, p, padded)
+	if outer < inner-PropertyTol {
+		return fmt.Errorf("oracle: padding decreased the match of %v: %v on %v, %v after padding to %v",
+			p, inner, seq, outer, padded)
+	}
+	return nil
+}
+
+// CheckProperties runs every metamorphic property over one generated case,
+// drawing the patterns, permutations, and paddings from the case's seed. It
+// is the harness lspverify runs alongside the differential battery.
+func CheckProperties(cs *Case) error {
+	rng := rand.New(rand.NewSource(cs.Seed ^ 0x70b1a5))
+	m := cs.C.Size()
+	space := Enumerate(m, cs.MaxLen, max(cs.MaxGap, 1))
+	randSeq := func(l int) []pattern.Symbol {
+		seq := make([]pattern.Symbol, l)
+		for i := range seq {
+			seq[i] = pattern.Symbol(rng.Intn(m))
+		}
+		return seq
+	}
+	for trial := 0; trial < 24; trial++ {
+		p := space[rng.Intn(len(space))]
+		seq := cs.DB[rng.Intn(len(cs.DB))]
+		if err := CheckApriori(cs.C, p, seq); err != nil {
+			return err
+		}
+		if err := CheckIdentitySupport(m, p, seq); err != nil {
+			return err
+		}
+		perm := rng.Perm(len(cs.DB))
+		if err := CheckPermutationInvariance(cs.C, p, cs.DB, perm); err != nil {
+			return err
+		}
+		if len(seq) >= len(p) {
+			start := rng.Intn(len(seq) - len(p) + 1)
+			if err := CheckEternalInvariance(cs.C, p, seq[start:start+len(p)], rng); err != nil {
+				return err
+			}
+		}
+		if err := CheckPaddingMonotone(cs.C, p, seq, randSeq(rng.Intn(4)), randSeq(rng.Intn(4))); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/testutil"
+)
+
+func TestPropertiesHoldOnCommittedSeeds(t *testing.T) {
+	for _, seed := range CommittedSeeds[:8] {
+		if err := CheckProperties(GenCase(seed)); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestPropertiesHoldOnFreshSeed(t *testing.T) {
+	if err := CheckProperties(GenCase(testutil.Seed(t))); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckIdentitySupportRandom(t *testing.T) {
+	rng := testutil.Rng(t)
+	const m = 4
+	space := Enumerate(m, 4, 2)
+	for trial := 0; trial < 100; trial++ {
+		p := space[rng.Intn(len(space))]
+		seq := make([]pattern.Symbol, rng.Intn(12))
+		for i := range seq {
+			seq[i] = pattern.Symbol(rng.Intn(m))
+		}
+		if err := CheckIdentitySupport(m, p, seq); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestCheckPermutationInvarianceRejectsBadPerm(t *testing.T) {
+	cs := GenCase(1)
+	if err := CheckPermutationInvariance(cs.C, pattern.MustNew(0), cs.DB, []int{0}); err == nil {
+		t.Error("truncated permutation accepted")
+	}
+}
+
+func TestCheckEternalInvarianceRejectsBadLength(t *testing.T) {
+	cs := GenCase(1)
+	rng := testutil.Rng(t)
+	err := CheckEternalInvariance(cs.C, pattern.MustNew(0, 1), []pattern.Symbol{0}, rng)
+	if err == nil {
+		t.Error("segment/pattern length mismatch accepted")
+	}
+}

@@ -1,0 +1,22 @@
+// Conformance slice for both support miners (external test package:
+// internal/oracle imports support). The sweep and the candidate-driven
+// miner are checked against the oracle's independent brute-force support.
+package support_test
+
+import (
+	"testing"
+
+	"repro/internal/oracle"
+)
+
+func TestSupportMinersOracleConformance(t *testing.T) {
+	engines := []oracle.Engine{
+		oracle.SupportSweepEngine(),
+		oracle.SupportExhaustiveEngine(),
+	}
+	for _, seed := range oracle.CommittedSeeds[:8] {
+		if d := oracle.CheckSeed(seed, engines); d != nil {
+			t.Fatalf("support miner diverged from the oracle:\n%s", d)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Package testutil holds small helpers shared by the repo's tests. It must
+// only be imported from _test.go files.
+package testutil
+
+import (
+	"flag"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var seedFlag = flag.Int64("seed", 0, "RNG seed for randomized tests (0 derives one from the clock)")
+
+// Seed returns the RNG seed for a randomized test: the -seed flag when set,
+// otherwise one drawn from the clock. The seed is always logged on entry, so
+// any failure report carries the exact command that replays it
+// (go test -run <name> -args -seed=<n>).
+func Seed(t testing.TB) int64 {
+	s := *seedFlag
+	if s == 0 {
+		s = time.Now().UnixNano()
+	}
+	t.Logf("seed=%d (re-run: go test -run '%s' -args -seed=%d)", s, t.Name(), s)
+	return s
+}
+
+// Rng returns a rand.Rand seeded via Seed.
+func Rng(t testing.TB) *rand.Rand {
+	return rand.New(rand.NewSource(Seed(t)))
+}
