@@ -12,20 +12,31 @@
 // timings are the mean), then -runs times with telemetry disabled to
 // measure the collection overhead. -quick restricts the grid to the two
 // smallest workloads and two runs each — the CI configuration.
+//
+// A final serve cell drives the base workload through an in-process
+// lspserve (internal/jobs behind its HTTP handler) and reports submission
+// throughput and submit→complete latency percentiles.
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/compat"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/jobs"
 	"repro/internal/pattern"
 	"repro/internal/seqdb"
 	"repro/internal/telemetry"
@@ -151,16 +162,39 @@ type result struct {
 	Telemetry telemetry.Snapshot `json:"telemetry"`
 }
 
+// serveResult is the serving cell: the base workload submitted as concurrent
+// jobs to an in-process lspserve, measured end to end through the HTTP API.
+type serveResult struct {
+	Jobs        int `json:"jobs"`
+	WorkerSlots int `json:"worker_slots"`
+
+	// JobsPerSec is completed jobs over the wall time from first submit to
+	// last completion.
+	WallMs     float64 `json:"wall_ms"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+
+	// SubmitP95Ms is the client-observed POST /v1/jobs round trip (admission
+	// + journal fsync), which the admission path keeps independent of mining.
+	SubmitP95Ms float64 `json:"submit_p95_ms"`
+
+	// Latency percentiles are submit→complete per job, from the journal's own
+	// timestamps (SubmittedMs → FinishedMs), so queueing time is included.
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+	LatencyMaxMs float64 `json:"latency_max_ms"`
+}
+
 // report is the BENCH_mine.json document.
 type report struct {
-	Schema    string   `json:"schema"`
-	Go        string   `json:"go"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	NumCPU    int      `json:"num_cpu"`
-	Quick     bool     `json:"quick"`
-	Seed      int64    `json:"seed"`
-	Workloads []result `json:"workloads"`
+	Schema    string       `json:"schema"`
+	Go        string       `json:"go"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	NumCPU    int          `json:"num_cpu"`
+	Quick     bool         `json:"quick"`
+	Seed      int64        `json:"seed"`
+	Workloads []result     `json:"workloads"`
+	Serve     *serveResult `json:"serve,omitempty"`
 }
 
 func main() {
@@ -197,6 +231,17 @@ func main() {
 		}
 		rep.Workloads = append(rep.Workloads, r)
 	}
+
+	serveJobs := 32
+	if *quick {
+		serveJobs = 8
+	}
+	fmt.Fprintf(os.Stderr, "lspbench: serve (%d jobs over the base workload)\n", serveJobs)
+	sr, err := benchServe(serveJobs, *seed)
+	if err != nil {
+		fatal(fmt.Errorf("serve: %w", err))
+	}
+	rep.Serve = sr
 
 	var f *os.File
 	if *out == "-" {
@@ -326,6 +371,140 @@ func bench(w workload, runs int, seed int64) (result, error) {
 		r.TelemetryOverheadPct = 100 * (r.NsPerOp - r.PlainNsPerOp) / r.PlainNsPerOp
 	}
 	return r, nil
+}
+
+// benchServe measures the serving layer on the base workload: n jobs (same
+// database, distinct sampling seeds) submitted back to back through the HTTP
+// API of an in-process lspserve, mined on the default worker-slot semaphore.
+func benchServe(n int, seed int64) (*serveResult, error) {
+	w := grid[0] // base
+	rng := rand.New(rand.NewSource(seed))
+	standard, _, err := datagen.Protein(datagen.ProteinConfig{
+		N: w.N, M: w.M, MinLen: w.MinLen, MaxLen: w.MaxLen,
+		NumMotifs: w.NumMotifs, MotifLen: w.MotifLen, PlantProb: w.PlantProb,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	db, err := datagen.ApplyUniformNoise(standard, w.M, w.Alpha, rng)
+	if err != nil {
+		return nil, err
+	}
+	c, err := compat.UniformNoise(w.M, w.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "lspbench-serve-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	dbPath := filepath.Join(dir, "base.lsq")
+	if err := seqdb.WriteFile(dbPath, db); err != nil {
+		return nil, err
+	}
+	matrixPath := filepath.Join(dir, "base.compat")
+	mf, err := os.Create(matrixPath)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.WriteTo(mf); err != nil {
+		mf.Close()
+		return nil, err
+	}
+	if err := mf.Close(); err != nil {
+		return nil, err
+	}
+
+	mgr, err := jobs.NewManager(jobs.Options{
+		Dir:      filepath.Join(dir, "data"),
+		QueueCap: n, // all jobs must be admissible up front
+		Registry: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx)
+	}()
+	srv := httptest.NewServer((&jobs.Server{Manager: mgr}).Handler())
+	defer srv.Close()
+
+	sr := &serveResult{Jobs: n, WorkerSlots: mgr.Counters().WorkerSlots}
+	ids := make([]string, n)
+	submitMs := make([]float64, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		spec := jobs.Spec{
+			DB: dbPath, Matrix: matrixPath,
+			MinMatch: w.MinMatch, Delta: w.Delta, MaxLen: w.PatLen,
+			MaxGap: w.MaxGap, Sample: w.Sample, MemBudget: w.MemBudget,
+			MaxCandidates: w.MaxCand,
+			Seed:          seed + int64(i),
+		}
+		body, err := json.Marshal(spec)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		submitMs[i] = float64(time.Since(t0).Microseconds()) / 1000
+		var st jobs.Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			resp.Body.Close()
+			return nil, err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return nil, fmt.Errorf("job %d: submit status %d", i, resp.StatusCode)
+		}
+		ids[i] = st.ID
+	}
+
+	latencyMs := make([]float64, n)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Minute)
+	defer cancel()
+	for i, id := range ids {
+		st, err := mgr.Wait(ctx, id)
+		if err != nil {
+			return nil, fmt.Errorf("job %s: %w", id, err)
+		}
+		if st.State != jobs.StateDone {
+			return nil, fmt.Errorf("job %s: state %s (%s)", id, st.State, st.Error)
+		}
+		latencyMs[i] = float64(st.FinishedMs - st.SubmittedMs)
+	}
+	wall := time.Since(start)
+
+	sr.WallMs = float64(wall.Microseconds()) / 1000
+	sr.JobsPerSec = float64(n) / wall.Seconds()
+	sr.SubmitP95Ms = percentile(submitMs, 0.95)
+	sr.LatencyP50Ms = percentile(latencyMs, 0.50)
+	sr.LatencyP95Ms = percentile(latencyMs, 0.95)
+	sr.LatencyMaxMs = percentile(latencyMs, 1)
+	return sr, nil
+}
+
+// percentile returns the nearest-rank p-quantile of xs (p in (0,1]).
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(p*float64(len(s))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
 }
 
 // bandedMatrix is the sparse-band compatibility model: each observed symbol

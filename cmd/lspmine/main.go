@@ -30,6 +30,11 @@
 // frequent set confirmed so far plus the still-ambiguous patterns with their
 // Chernoff intervals, instead of failing.
 //
+// Exit codes: 0 complete result, 1 error, 2 usage, 3 degraded result (the
+// Phase 3 budget expired; output is the confirmed set, and -metrics reports
+// degraded=true — resume with -checkpoint/-resume to finish), 130
+// interrupted by signal.
+//
 // SIGINT/SIGTERM cancel the run cleanly: the run aborts within one sequence
 // block, a final checkpoint is flushed when -checkpoint is set, and the
 // partial result (phase reached, scans completed) is reported instead of
@@ -124,7 +129,14 @@ func main() {
 		fatal(err)
 	}
 	if *retries > 0 {
-		db = &seqdb.RetryScanner{Inner: db, MaxRetries: *retries}
+		// Full-jitter backoff: seeded from -seed so runs stay reproducible,
+		// while concurrent miners hitting one flaky store spread their
+		// retries instead of re-hammering it in lockstep.
+		db = &seqdb.RetryScanner{
+			Inner:      db,
+			MaxRetries: *retries,
+			Jitter:     rand.New(rand.NewSource(*seed)),
+		}
 	}
 	mf, err := os.Open(*matrixPath)
 	if err != nil {
@@ -224,9 +236,6 @@ func main() {
 		}
 		fatal(err)
 	}
-	if metrics != nil {
-		defer writeMetrics(metrics, res, *metricsOut)
-	}
 
 	a := pattern.GenericAlphabet(c.Size())
 	if *jsonOut {
@@ -237,6 +246,7 @@ func main() {
 		if err := rep.WriteJSON(os.Stdout); err != nil {
 			fatal(err)
 		}
+		finish(metrics, res, *metricsOut)
 		return
 	}
 	if res.Degraded {
@@ -277,6 +287,21 @@ func main() {
 			fmt.Printf("   %s  sample=%.4f ε=%.4f\n", a.Format(u.Pattern), u.SampleMatch, u.Epsilon)
 		}
 	}
+	finish(metrics, res, *metricsOut)
+}
+
+// finish writes the telemetry snapshot (when collecting) and exits with the
+// degradation contract's status code: 0 for a complete result, 3 for a
+// degraded one (Phase 3 budget expired; the confirmed set plus Chernoff
+// intervals were reported). Orchestration can distinguish "done" from "done
+// but worth resuming" by exit code alone.
+func finish(m *telemetry.Metrics, res *core.Result, format string) {
+	if m != nil {
+		writeMetrics(m, res, format)
+	}
+	if res.Degraded {
+		os.Exit(3)
+	}
 }
 
 // writeMetrics renders the run's telemetry snapshot (with the scanner's
@@ -284,6 +309,7 @@ func main() {
 func writeMetrics(m *telemetry.Metrics, res *core.Result, format string) {
 	snap := m.Snapshot()
 	snap.Retry = res.ScanStats
+	snap.Degraded = res.Degraded
 	var err error
 	if format == "json" {
 		err = snap.WriteJSON(os.Stderr)

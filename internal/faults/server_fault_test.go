@@ -1,0 +1,560 @@
+package faults_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/compat"
+	"repro/internal/datagen"
+	"repro/internal/faults"
+	"repro/internal/jobs"
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+	"repro/internal/testutil"
+)
+
+// These are the serving layer's fault-injection tests: the job queue and
+// HTTP API under the server-level fault model — queue-full storms, tenants
+// at their limits, slow and failing scanners underneath running jobs,
+// malformed requests, and a kill mid-job — asserting the admission and
+// recovery contracts from the operator's side of the API.
+
+// serverWorld writes a small noisy world to disk and returns the paths.
+func serverWorld(t *testing.T, seed int64, n int) (dbPath, matrixPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(seed))
+	const m = 6
+	std, _, err := datagen.Protein(datagen.ProteinConfig{
+		N: n, M: m, MinLen: 10, MaxLen: 14,
+		Motifs:    []pattern.Pattern{pattern.MustNew(0, 1, 2)},
+		PlantProb: 0.7,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := datagen.ApplyUniformNoise(std, m, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbPath = filepath.Join(dir, "world.lsq")
+	if err := seqdb.WriteFile(dbPath, noisy); err != nil {
+		t.Fatal(err)
+	}
+	c, err := compat.UniformNoise(m, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrixPath = filepath.Join(dir, "world.compat")
+	f, err := os.Create(matrixPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dbPath, matrixPath
+}
+
+func startServer(t *testing.T, opts jobs.Options) (*jobs.Manager, *httptest.Server) {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	m, err := jobs.NewManager(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(jobs.NewServer(m).Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = m.Shutdown(ctx)
+	})
+	return m, srv
+}
+
+// submitBody renders a job spec as the POST /v1/jobs payload.
+func submitBody(t *testing.T, dbPath, matrixPath, tenant string) []byte {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{
+		"tenant":    tenant,
+		"db":        dbPath,
+		"matrix":    matrixPath,
+		"min_match": 0.30,
+		"max_len":   6,
+		"delta":     1e-2,
+		"sample":    30,
+		"seed":      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func postJob(t *testing.T, srv *httptest.Server, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// decodeAndClose parses a JSON response body into v.
+func decodeAndClose(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decoding %s response: %v", resp.Request.URL, err)
+	}
+}
+
+// waitState polls the status endpoint until the job reaches a terminal
+// state, returning the final status document.
+func waitState(t *testing.T, srv *httptest.Server, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(srv.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st map[string]any
+		decodeAndClose(t, resp, &st)
+		switch st["state"] {
+		case "done", "failed", "canceled":
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never settled", id)
+	return nil
+}
+
+// slowOpener opens the spec's database behind a faults.Throttle, so jobs
+// run long enough for admission pressure to build.
+func slowOpener(perSeq time.Duration) func(jobs.Spec) (seqdb.Scanner, error) {
+	return func(spec jobs.Spec) (seqdb.Scanner, error) {
+		db, err := seqdb.OpenAuto(spec.DB)
+		if err != nil {
+			return nil, err
+		}
+		return &faults.Throttle{Inner: db, PerSeq: perSeq}, nil
+	}
+}
+
+// TestServerQueueFullStorm floods a one-slot, two-deep server with
+// submissions: the accepted set is exactly the capacity, every overflow is
+// shed with 429 and a usable Retry-After, and the queue bound holds while
+// the storm rages.
+func TestServerQueueFullStorm(t *testing.T) {
+	dbPath, matrixPath := serverWorld(t, testutil.Seed(t), 40)
+	m, srv := startServer(t, jobs.Options{
+		WorkerSlots:      1,
+		MaxWorkersPerJob: 1,
+		QueueCap:         2,
+		OpenDB:           slowOpener(2 * time.Millisecond),
+	})
+	body := submitBody(t, dbPath, matrixPath, "")
+
+	accepted, rejected := 0, 0
+	for i := 0; i < 20; i++ {
+		resp := postJob(t, srv, body)
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			accepted++
+			resp.Body.Close()
+		case http.StatusTooManyRequests:
+			rejected++
+			ra := resp.Header.Get("Retry-After")
+			sec, err := strconv.Atoi(ra)
+			if err != nil || sec < 1 {
+				t.Fatalf("429 Retry-After = %q, want a positive integer", ra)
+			}
+			var e struct {
+				Error  string `json:"error"`
+				Reason string `json:"reason"`
+			}
+			decodeAndClose(t, resp, &e)
+			if e.Reason != "queue-full" {
+				t.Fatalf("429 reason = %q, want queue-full", e.Reason)
+			}
+		default:
+			t.Fatalf("submission %d: status %d", i, resp.StatusCode)
+		}
+	}
+	// One job can be running plus QueueCap queued: at most 3 in the system.
+	if accepted > 3 {
+		t.Errorf("accepted %d jobs through a 1-slot, 2-deep server", accepted)
+	}
+	if rejected == 0 {
+		t.Error("storm produced no 429s")
+	}
+	if c := m.Counters(); c.RejectedQueueFull != int64(rejected) {
+		t.Errorf("counters.RejectedQueueFull = %d, want %d", c.RejectedQueueFull, rejected)
+	}
+}
+
+// TestServerTenantRateLimitIsolation pins tenant A at its rate limit and
+// verifies the two halves of the isolation contract: A's overflow is shed
+// with 429 reason rate-limited, and tenant B's submissions are admitted and
+// complete while A's storm is in progress — A's limit never delays B beyond
+// the shared worker-slot bound.
+func TestServerTenantRateLimitIsolation(t *testing.T) {
+	dbPath, matrixPath := serverWorld(t, testutil.Seed(t), 40)
+	m, srv := startServer(t, jobs.Options{
+		WorkerSlots: 2,
+		TenantRate:  0.001, // effectively: burst only
+		TenantBurst: 1,
+	})
+
+	// Tenant A spends its burst, then keeps hammering.
+	resp := postJob(t, srv, submitBody(t, dbPath, matrixPath, "tenant-a"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tenant A's first submission: status %d", resp.StatusCode)
+	}
+	var aFirst struct {
+		ID string `json:"id"`
+	}
+	decodeAndClose(t, resp, &aFirst)
+	for i := 0; i < 5; i++ {
+		resp := postJob(t, srv, submitBody(t, dbPath, matrixPath, "tenant-a"))
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("tenant A over limit: status %d, want 429", resp.StatusCode)
+		}
+		var e struct {
+			Reason string `json:"reason"`
+		}
+		decodeAndClose(t, resp, &e)
+		if e.Reason != "rate-limited" {
+			t.Fatalf("reason = %q, want rate-limited", e.Reason)
+		}
+	}
+
+	// Tenant B, mid-storm, is admitted and runs to completion.
+	resp = postJob(t, srv, submitBody(t, dbPath, matrixPath, "tenant-b"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tenant B's submission during A's storm: status %d", resp.StatusCode)
+	}
+	var b struct {
+		ID string `json:"id"`
+	}
+	decodeAndClose(t, resp, &b)
+	if st := waitState(t, srv, b.ID); st["state"] != "done" {
+		t.Fatalf("tenant B's job: state %v (%v)", st["state"], st["error"])
+	}
+	if st := waitState(t, srv, aFirst.ID); st["state"] != "done" {
+		t.Fatalf("tenant A's admitted job: state %v (%v)", st["state"], st["error"])
+	}
+	if c := m.Counters(); c.RejectedRateLimited < 5 {
+		t.Errorf("counters.RejectedRateLimited = %d, want >= 5", c.RejectedRateLimited)
+	}
+}
+
+// TestServerTenantMaxActiveIsolation caps each tenant at one active job: the
+// tenant's second concurrent submission is shed with reason tenant-busy
+// while another tenant's submission sails through.
+func TestServerTenantMaxActiveIsolation(t *testing.T) {
+	dbPath, matrixPath := serverWorld(t, testutil.Seed(t), 40)
+	_, srv := startServer(t, jobs.Options{
+		WorkerSlots:     2,
+		TenantMaxActive: 1,
+		OpenDB:          slowOpener(time.Millisecond),
+	})
+	resp := postJob(t, srv, submitBody(t, dbPath, matrixPath, "tenant-a"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tenant A's first submission: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = postJob(t, srv, submitBody(t, dbPath, matrixPath, "tenant-a"))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("tenant A's second active job: status %d, want 429", resp.StatusCode)
+	}
+	var e struct {
+		Reason string `json:"reason"`
+	}
+	decodeAndClose(t, resp, &e)
+	if e.Reason != "tenant-busy" {
+		t.Fatalf("reason = %q, want tenant-busy", e.Reason)
+	}
+
+	resp = postJob(t, srv, submitBody(t, dbPath, matrixPath, "tenant-b"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tenant B blocked by A's cap: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestServerMalformedRequests: broken JSON, unknown fields, and invalid
+// values are all 400s with a JSON error body; lookups of unknown jobs 404.
+func TestServerMalformedRequests(t *testing.T) {
+	_, srv := startServer(t, jobs.Options{})
+	for _, tc := range []struct {
+		name string
+		body string
+	}{
+		{"truncated JSON", `{"db": "x", "matrix`},
+		{"unknown field", `{"db": "x", "matrix": "y", "min_match": 0.5, "max_len": 3, "min_mach": 0.9}`},
+		{"missing db", `{"matrix": "y", "min_match": 0.5, "max_len": 3}`},
+		{"bad min_match", `{"db": "x", "matrix": "y", "min_match": 7, "max_len": 3}`},
+		{"bad engine", `{"db": "x", "matrix": "y", "min_match": 0.5, "max_len": 3, "engine": "warp"}`},
+		{"wrong type", `{"db": "x", "matrix": "y", "min_match": "high", "max_len": 3}`},
+	} {
+		resp := postJob(t, srv, []byte(tc.body))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		decodeAndClose(t, resp, &e)
+		if e.Error == "" {
+			t.Errorf("%s: no error detail in body", tc.name)
+		}
+	}
+
+	for _, req := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/jobs/nope"},
+		{http.MethodGet, "/v1/jobs/nope/result"},
+		{http.MethodGet, "/v1/jobs/nope/events"},
+		{http.MethodDelete, "/v1/jobs/nope"},
+	} {
+		r, err := http.NewRequest(req.method, srv.URL+req.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s: status %d, want 404", req.method, req.path, resp.StatusCode)
+		}
+	}
+}
+
+// TestServerTransientScannerFaultsUnderRunningJob injects transient scan
+// failures beneath a running job; the jittered retrying scanner heals them
+// and the job completes, with the retries visible in its telemetry.
+func TestServerTransientScannerFaultsUnderRunningJob(t *testing.T) {
+	dbPath, matrixPath := serverWorld(t, testutil.Seed(t), 40)
+	_, srv := startServer(t, jobs.Options{
+		OpenDB: func(spec jobs.Spec) (seqdb.Scanner, error) {
+			db, err := seqdb.OpenAuto(spec.DB)
+			if err != nil {
+				return nil, err
+			}
+			return &seqdb.RetryScanner{
+				Inner:  faults.New(db, faults.TransientOn(1, 3), faults.TransientOn(3, 0)),
+				Jitter: rand.New(rand.NewSource(spec.Seed)),
+				Sleep:  func(time.Duration) {},
+			}, nil
+		},
+	})
+	resp := postJob(t, srv, submitBody(t, dbPath, matrixPath, ""))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	decodeAndClose(t, resp, &st)
+	final := waitState(t, srv, st.ID)
+	if final["state"] != "done" {
+		t.Fatalf("state %v (%v), want done despite transient faults", final["state"], final["error"])
+	}
+	tel, _ := final["telemetry"].(map[string]any)
+	if tel == nil {
+		t.Fatal("no telemetry in final status")
+	}
+	retry, _ := tel["retry"].(map[string]any)
+	if retry == nil || retry["Retries"] == nil || retry["Retries"].(float64) < 2 {
+		t.Errorf("telemetry retry counters = %v, want >= 2 retries", retry)
+	}
+}
+
+// TestServerPermanentScannerFaultFailsJob: a permanent fault beneath a
+// running job fails that job with the injected error surfaced — and only
+// that job; the server keeps serving.
+func TestServerPermanentScannerFaultFailsJob(t *testing.T) {
+	dbPath, matrixPath := serverWorld(t, testutil.Seed(t), 40)
+	broken := true
+	_, srv := startServer(t, jobs.Options{
+		OpenDB: func(spec jobs.Spec) (seqdb.Scanner, error) {
+			db, err := seqdb.OpenAuto(spec.DB)
+			if err != nil {
+				return nil, err
+			}
+			if broken {
+				return faults.New(db, faults.PermanentOn(1, 2)), nil
+			}
+			return db, nil
+		},
+	})
+	resp := postJob(t, srv, submitBody(t, dbPath, matrixPath, ""))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	decodeAndClose(t, resp, &st)
+	final := waitState(t, srv, st.ID)
+	if final["state"] != "failed" {
+		t.Fatalf("state %v, want failed", final["state"])
+	}
+	if msg, _ := final["error"].(string); !strings.Contains(msg, "injected permanent failure") {
+		t.Errorf("error = %q, want the injected failure surfaced", msg)
+	}
+	// The failed job's result is a 409, not a 500, and the server still
+	// accepts and completes work.
+	rr, err := http.Get(srv.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusConflict {
+		t.Errorf("result of failed job: status %d, want 409", rr.StatusCode)
+	}
+	broken = false
+	resp = postJob(t, srv, submitBody(t, dbPath, matrixPath, ""))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-failure submission: status %d", resp.StatusCode)
+	}
+	var st2 struct {
+		ID string `json:"id"`
+	}
+	decodeAndClose(t, resp, &st2)
+	if final := waitState(t, srv, st2.ID); final["state"] != "done" {
+		t.Fatalf("post-failure job: state %v (%v)", final["state"], final["error"])
+	}
+}
+
+// TestServerKillDuringJob is the HTTP-level kill-resume check: a server is
+// killed (journaling suppressed) with a job mid-run, a new server over the
+// same directory replays it, and the client — polling the same job ID over
+// HTTP — sees it finish with a result identical to an undisturbed server's.
+func TestServerKillDuringJob(t *testing.T) {
+	dbPath, matrixPath := serverWorld(t, 77, 60)
+	body := submitBody(t, dbPath, matrixPath, "")
+
+	// Undisturbed baseline.
+	_, baseSrv := startServer(t, jobs.Options{})
+	resp := postJob(t, baseSrv, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("baseline submission: status %d", resp.StatusCode)
+	}
+	var baseSt struct {
+		ID string `json:"id"`
+	}
+	decodeAndClose(t, resp, &baseSt)
+	if st := waitState(t, baseSrv, baseSt.ID); st["state"] != "done" {
+		t.Fatalf("baseline: state %v", st["state"])
+	}
+	baseResp, err := http.Get(baseSrv.URL + "/v1/jobs/" + baseSt.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := io.ReadAll(baseResp.Body)
+	baseResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Victim server: kill after the first checkpoint.
+	dir := t.TempDir()
+	checkpointed := make(chan struct{})
+	var once sync.Once
+	victim, err := jobs.NewManager(jobs.Options{
+		Dir:    dir,
+		OpenDB: slowOpener(time.Millisecond),
+		AfterCheckpoint: func(id string, phase int) {
+			once.Do(func() { close(checkpointed) })
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimSrv := httptest.NewServer(jobs.NewServer(victim).Handler())
+	resp = postJob(t, victimSrv, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("victim submission: status %d", resp.StatusCode)
+	}
+	var killSt struct {
+		ID string `json:"id"`
+	}
+	decodeAndClose(t, resp, &killSt)
+	select {
+	case <-checkpointed:
+	case <-time.After(60 * time.Second):
+		t.Fatal("job never checkpointed")
+	}
+	victimSrv.Close()
+	victim.Crash()
+
+	// Revived server over the same journal: same job ID, same result bytes.
+	_, revivedSrv := startServer(t, jobs.Options{Dir: dir})
+	final := waitState(t, revivedSrv, killSt.ID)
+	if final["state"] != "done" {
+		t.Fatalf("revived: state %v (%v)", final["state"], final["error"])
+	}
+	if resumed, _ := final["resumed"].(float64); resumed < 1 {
+		t.Errorf("resumed = %v, want >= 1", final["resumed"])
+	}
+	gotResp, err := http.Get(revivedSrv.URL + "/v1/jobs/" + killSt.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(gotResp.Body)
+	gotResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("result after kill-resume differs from undisturbed server\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+// TestThrottleHonorsCancellation: the slow-store fault model itself must not
+// wedge shutdown — a canceled context escapes mid-sleep.
+func TestThrottleHonorsCancellation(t *testing.T) {
+	seqs := make([][]pattern.Symbol, 100)
+	for i := range seqs {
+		seqs[i] = []pattern.Symbol{0, 1, 2}
+	}
+	th := &faults.Throttle{Inner: seqdb.NewMemDB(seqs), PerSeq: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- th.ScanContext(ctx, func(id int, seq []pattern.Symbol) error { return nil })
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("throttled scan returned nil after cancellation")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("throttled scan did not observe cancellation")
+	}
+}

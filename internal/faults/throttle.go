@@ -1,0 +1,75 @@
+package faults
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+)
+
+// Throttle wraps a seqdb.Scanner and delays every sequence delivery by
+// PerSeq — the server-level fault model for a slow backing store (an
+// overloaded disk, a cold network volume) underneath a running mining job.
+// The delay honors the scan context, so a cancelled or deadline-expired job
+// escapes the slow store within one sequence, exactly like a healthy one.
+//
+// Len/Scans/ResetScans delegate to the wrapped scanner; a throttled pass
+// that completes still counts as one scan.
+type Throttle struct {
+	Inner seqdb.Scanner
+	// PerSeq is the delay injected before each sequence (0 disables).
+	PerSeq time.Duration
+}
+
+// Len returns the wrapped scanner's sequence count.
+func (s *Throttle) Len() int { return s.Inner.Len() }
+
+// Scans returns the wrapped scanner's completed-pass count.
+func (s *Throttle) Scans() int { return s.Inner.Scans() }
+
+// ResetScans zeroes the wrapped scanner's pass counter.
+func (s *Throttle) ResetScans() { s.Inner.ResetScans() }
+
+// Path exposes the wrapped scanner's backing file, so checkpoint identity
+// checks see through the throttle like they see through RetryScanner.
+func (s *Throttle) Path() string {
+	if p, ok := s.Inner.(interface{ Path() string }); ok {
+		return p.Path()
+	}
+	return ""
+}
+
+// Scan implements seqdb.Scanner.
+func (s *Throttle) Scan(fn func(id int, seq []pattern.Symbol) error) error {
+	return s.ScanContext(nil, fn)
+}
+
+// ScanContext implements seqdb.ContextScanner, sleeping PerSeq (or until
+// cancellation) before every delivery.
+func (s *Throttle) ScanContext(ctx context.Context, fn func(id int, seq []pattern.Symbol) error) error {
+	return seqdb.ScanContext(ctx, s.Inner, func(id int, seq []pattern.Symbol) error {
+		if s.PerSeq > 0 {
+			if err := sleepCtx(ctx, s.PerSeq); err != nil {
+				return err
+			}
+		}
+		return fn(id, seq)
+	})
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled. A nil ctx sleeps plainly.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

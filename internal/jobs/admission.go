@@ -1,0 +1,72 @@
+package jobs
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Admission-rejection reasons, surfaced to clients so they can distinguish
+// "the server is full" (back off globally) from "you are over your limit"
+// (back off yourself).
+const (
+	ReasonQueueFull   = "queue-full"
+	ReasonRateLimited = "rate-limited"
+	ReasonTenantBusy  = "tenant-busy"
+)
+
+// AdmissionError reports a submission shed by admission control. The HTTP
+// layer renders it as 429 Too Many Requests with a Retry-After header; the
+// queue never grows past its bound and one tenant's burst never consumes
+// another tenant's capacity.
+type AdmissionError struct {
+	// Reason is one of the Reason* constants.
+	Reason string
+	// RetryAfter is the suggested wait before resubmitting.
+	RetryAfter time.Duration
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("jobs: admission rejected (%s); retry after %v", e.Reason, e.RetryAfter)
+}
+
+// tokenBucket is a per-tenant submission rate limiter: capacity burst,
+// refilled at rate tokens/second. It is driven by the manager's clock (under
+// the manager's lock), so tests can step time deterministically.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// take attempts to consume one token at time now. On refusal it returns the
+// wait until a full token will have accumulated.
+func (b *tokenBucket) take(now time.Time, rate float64, burst int) (bool, time.Duration) {
+	if burst < 1 {
+		burst = 1
+	}
+	if b.last.IsZero() {
+		b.tokens = float64(burst)
+	} else if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(float64(burst), b.tokens+dt*rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, at least 1 (the header has no sub-second form).
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

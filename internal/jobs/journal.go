@@ -1,0 +1,133 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/checkpoint"
+)
+
+// journal is the crash-durable record store backing a Manager: one JSON
+// record per job plus, for running jobs, an LCKP checkpoint and, for done
+// jobs, a result document. Every write is crash-atomic
+// (checkpoint.AtomicWriteFile), so the journal is consistent at every
+// instant — a SIGKILL between any two syscalls leaves each job at its last
+// durable state, and replay converges every non-terminal job to the same
+// result it would have produced uninterrupted.
+//
+// Layout under dir:
+//
+//	jobs/<id>.json        job record (spec + lifecycle state)
+//	jobs/<id>.result.json result document of a done job
+//	ckpt/<id>.lckp        core checkpoint of a queued-or-running job
+type journal struct {
+	dir string
+}
+
+func openJournal(dir string) (*journal, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("jobs: journal dir is required")
+	}
+	for _, sub := range []string{"jobs", "ckpt"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("jobs: journal: %w", err)
+		}
+	}
+	return &journal{dir: dir}, nil
+}
+
+func (j *journal) recordPath(id string) string {
+	return filepath.Join(j.dir, "jobs", id+".json")
+}
+
+func (j *journal) resultPath(id string) string {
+	return filepath.Join(j.dir, "jobs", id+".result.json")
+}
+
+// CheckpointPath is where the job's core checkpoint lives while it runs.
+func (j *journal) checkpointPath(id string) string {
+	return filepath.Join(j.dir, "ckpt", id+".lckp")
+}
+
+// saveRecord persists one job record crash-atomically.
+func (j *journal) saveRecord(rec *record) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobs: journal: marshal %s: %w", rec.ID, err)
+	}
+	if err := checkpoint.AtomicWriteFile(j.recordPath(rec.ID), append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("jobs: journal: %w", err)
+	}
+	return nil
+}
+
+// saveResult persists a done job's result document crash-atomically.
+func (j *journal) saveResult(id string, doc []byte) error {
+	if err := checkpoint.AtomicWriteFile(j.resultPath(id), doc, 0o644); err != nil {
+		return fmt.Errorf("jobs: journal: result %s: %w", id, err)
+	}
+	return nil
+}
+
+// loadResult reads a done job's result document.
+func (j *journal) loadResult(id string) ([]byte, error) {
+	return os.ReadFile(j.resultPath(id))
+}
+
+// removeCheckpoint drops a job's checkpoint (after terminal states, where it
+// can only mislead a future replay). Missing files are fine.
+func (j *journal) removeCheckpoint(id string) {
+	_ = os.Remove(j.checkpointPath(id))
+}
+
+// hasCheckpoint reports whether a checkpoint file exists for the job.
+func (j *journal) hasCheckpoint(id string) bool {
+	_, err := os.Stat(j.checkpointPath(id))
+	return err == nil
+}
+
+// load reads every job record, sorted by submission time then ID — the
+// replay order. Records that fail to parse are skipped with their error
+// reported (one torn or hand-damaged record must not take down the server;
+// crash-atomic writes make this path unreachable for our own crashes, but
+// robustness here is cheap).
+func (j *journal) load() ([]*record, []error) {
+	entries, err := os.ReadDir(filepath.Join(j.dir, "jobs"))
+	if err != nil {
+		return nil, []error{fmt.Errorf("jobs: journal: %w", err)}
+	}
+	var recs []*record
+	var errs []error
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasSuffix(name, ".result.json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(j.dir, "jobs", name))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("jobs: journal: %w", err))
+			continue
+		}
+		rec := new(record)
+		if err := json.Unmarshal(data, rec); err != nil {
+			errs = append(errs, fmt.Errorf("jobs: journal: %s: %w", name, err))
+			continue
+		}
+		if rec.ID == "" || rec.ID+".json" != name {
+			errs = append(errs, fmt.Errorf("jobs: journal: %s: record ID %q does not match filename", name, rec.ID))
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(a, b int) bool {
+		if recs[a].SubmittedMs != recs[b].SubmittedMs {
+			return recs[a].SubmittedMs < recs[b].SubmittedMs
+		}
+		return recs[a].ID < recs[b].ID
+	})
+	return recs, errs
+}

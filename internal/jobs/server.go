@@ -1,0 +1,256 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Server is the HTTP/JSON face of a Manager. Mount via Handler:
+//
+//	POST   /v1/jobs             submit a Spec        → 202 Status
+//	GET    /v1/jobs             list jobs            → 200 []Status
+//	GET    /v1/jobs/{id}        job status           → 200 Status
+//	GET    /v1/jobs/{id}/result result document      → 200 Result
+//	GET    /v1/jobs/{id}/events NDJSON status stream → 200 Status per line
+//	DELETE /v1/jobs/{id}        cancel               → 200 Status
+//	GET    /healthz             liveness             → 200 / 503 draining
+//	GET    /metrics             Prometheus text
+//
+// Shed submissions (queue full, tenant over rate or concurrency) return
+// 429 with a Retry-After header; malformed requests return 400 with a JSON
+// error body; unknown jobs 404. The server itself holds no state — every
+// durable fact lives in the Manager's journal — so the handler can be
+// rebuilt freely around a replayed manager.
+type Server struct {
+	Manager *Manager
+	// StreamInterval paces /events snapshots (default 200ms).
+	StreamInterval time.Duration
+}
+
+// NewServer wraps a manager with the default streaming cadence.
+func NewServer(m *Manager) *Server { return &Server{Manager: m} }
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+	// Reason carries the admission-rejection class on 429 responses.
+	Reason string `json:"reason,omitempty"`
+	// RetryAfterSeconds mirrors the Retry-After header for JSON-only clients.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	// Unknown fields are rejected: a typoed "min_mach" must fail loudly, not
+	// silently mine at the default threshold.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	st, err := s.Manager.Submit(spec)
+	if err != nil {
+		var adm *AdmissionError
+		switch {
+		case errors.As(err, &adm):
+			sec := retryAfterSeconds(adm.RetryAfter)
+			w.Header().Set("Retry-After", strconv.Itoa(sec))
+			writeJSON(w, http.StatusTooManyRequests, errorBody{
+				Error:             adm.Error(),
+				Reason:            adm.Reason,
+				RetryAfterSeconds: sec,
+			})
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Manager.List())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Manager.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	doc, err := s.Manager.Result(r.PathValue("id"))
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(doc)
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrNotDone):
+		writeError(w, http.StatusConflict, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// handleEvents streams the job's status as NDJSON — one Status snapshot per
+// line at StreamInterval, plus a final line at the terminal transition —
+// so a client can watch scan counts and checkpoint writes advance without
+// polling. The stream ends when the job settles or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.Manager.Status(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	emit := func(st Status) bool {
+		if err := enc.Encode(st); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	if !emit(st) {
+		return
+	}
+	interval := s.StreamInterval
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for !st.State.Terminal() {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+		}
+		st, err = s.Manager.Status(id)
+		if err != nil || !emit(st) {
+			return
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Manager.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Manager.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// handleMetrics renders the manager counters plus the live per-job telemetry
+// aggregate in Prometheus text exposition format (stdlib-only; no client
+// library in this repo).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c := s.Manager.Counters()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("# HELP lspserve_jobs_accepted_total Jobs accepted into the queue.\n")
+	p("# TYPE lspserve_jobs_accepted_total counter\n")
+	p("lspserve_jobs_accepted_total %d\n", c.Accepted)
+	p("# HELP lspserve_jobs_rejected_total Submissions shed by admission control.\n")
+	p("# TYPE lspserve_jobs_rejected_total counter\n")
+	p("lspserve_jobs_rejected_total{reason=%q} %d\n", ReasonQueueFull, c.RejectedQueueFull)
+	p("lspserve_jobs_rejected_total{reason=%q} %d\n", ReasonRateLimited, c.RejectedRateLimited)
+	p("lspserve_jobs_rejected_total{reason=%q} %d\n", ReasonTenantBusy, c.RejectedTenantBusy)
+	p("# HELP lspserve_jobs_finished_total Jobs settled, by terminal state.\n")
+	p("# TYPE lspserve_jobs_finished_total counter\n")
+	p("lspserve_jobs_finished_total{state=\"done\"} %d\n", c.Completed)
+	p("lspserve_jobs_finished_total{state=\"failed\"} %d\n", c.Failed)
+	p("lspserve_jobs_finished_total{state=\"canceled\"} %d\n", c.Canceled)
+	p("# HELP lspserve_jobs_degraded_total Done jobs that hit their Phase 3 deadline.\n")
+	p("# TYPE lspserve_jobs_degraded_total counter\n")
+	p("lspserve_jobs_degraded_total %d\n", c.Degraded)
+	p("# HELP lspserve_jobs_replayed_total Jobs resumed from the journal after a restart.\n")
+	p("# TYPE lspserve_jobs_replayed_total counter\n")
+	p("lspserve_jobs_replayed_total %d\n", c.Replayed)
+	p("# HELP lspserve_jobs_queued Jobs waiting for a worker slot.\n")
+	p("# TYPE lspserve_jobs_queued gauge\n")
+	p("lspserve_jobs_queued %d\n", c.Queued)
+	p("# HELP lspserve_jobs_running Jobs currently mining.\n")
+	p("# TYPE lspserve_jobs_running gauge\n")
+	p("lspserve_jobs_running %d\n", c.Running)
+	p("# HELP lspserve_worker_slots Global worker-slot semaphore capacity.\n")
+	p("# TYPE lspserve_worker_slots gauge\n")
+	p("lspserve_worker_slots %d\n", c.WorkerSlots)
+	p("# HELP lspserve_worker_slots_in_use Worker slots currently held by jobs.\n")
+	p("# TYPE lspserve_worker_slots_in_use gauge\n")
+	p("lspserve_worker_slots_in_use %d\n", c.SlotsInUse)
+	if reg := s.Manager.opts.Registry; reg != nil {
+		writeTelemetryMetrics(w, reg.Aggregate())
+	}
+}
+
+func writeTelemetryMetrics(w http.ResponseWriter, agg telemetry.Snapshot) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("# HELP lspserve_scans_total Database passes across running jobs.\n")
+	p("# TYPE lspserve_scans_total counter\n")
+	p("lspserve_scans_total %d\n", agg.TotalScans)
+	p("# HELP lspserve_scan_sequences_total Sequences delivered across running jobs.\n")
+	p("# TYPE lspserve_scan_sequences_total counter\n")
+	p("lspserve_scan_sequences_total %d\n", agg.TotalSequences)
+	p("# HELP lspserve_checkpoint_writes_total Checkpoint files written by running jobs.\n")
+	p("# TYPE lspserve_checkpoint_writes_total counter\n")
+	p("lspserve_checkpoint_writes_total %d\n", agg.CheckpointWrites)
+	p("# HELP lspserve_checkpoint_bytes_total Checkpoint bytes written by running jobs.\n")
+	p("# TYPE lspserve_checkpoint_bytes_total counter\n")
+	p("lspserve_checkpoint_bytes_total %d\n", agg.CheckpointBytes)
+}

@@ -1,0 +1,113 @@
+package seqdb
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/pattern"
+	"repro/internal/testutil"
+)
+
+// TestRetryScannerFullJitterSpread verifies the full-jitter policy: every
+// wait stays within (0, scheduled delay], and the draws actually spread out
+// instead of reproducing the deterministic schedule.
+func TestRetryScannerFullJitterSpread(t *testing.T) {
+	const retries = 8
+	base, cap := 100*time.Millisecond, time.Second
+	inner := &failNScanner{MemDB: sampleDB(), fail: retries, err: MarkTransient(errors.New("blip"))}
+	var slept []time.Duration
+	r := &RetryScanner{
+		Inner:      inner,
+		MaxRetries: retries,
+		BaseDelay:  base,
+		MaxDelay:   cap,
+		Sleep:      func(d time.Duration) { slept = append(slept, d) },
+		Jitter:     rand.New(rand.NewSource(testutil.Seed(t))),
+	}
+	if err := r.Scan(func(int, []pattern.Symbol) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != retries {
+		t.Fatalf("slept %d times, want %d", len(slept), retries)
+	}
+	schedule := base
+	distinct := map[time.Duration]bool{}
+	for i, d := range slept {
+		if d <= 0 || d > schedule {
+			t.Errorf("wait[%d]=%v outside (0, %v]", i, d, schedule)
+		}
+		distinct[d] = true
+		schedule *= 2
+		if schedule > cap {
+			schedule = cap
+		}
+	}
+	// With 8 uniform draws over ranges up to 1s, collisions across all draws
+	// are astronomically unlikely; require at least half to differ so the
+	// test never flakes yet still catches a constant (jitterless) schedule.
+	if len(distinct) < retries/2 {
+		t.Errorf("only %d distinct waits among %v — jitter is not spreading", len(distinct), slept)
+	}
+}
+
+// TestRetryScannerJitterBreaksLockstep models N workers sharing one failing
+// store: each retries on its own jittered schedule, and their backoff
+// sequences must not coincide (the lockstep the jitter exists to break).
+func TestRetryScannerJitterBreaksLockstep(t *testing.T) {
+	const workers, retries = 4, 5
+	seed := testutil.Seed(t)
+	sequences := make([][]time.Duration, workers)
+	for w := 0; w < workers; w++ {
+		inner := &failNScanner{MemDB: sampleDB(), fail: retries, err: MarkTransient(errors.New("blip"))}
+		var slept []time.Duration
+		r := &RetryScanner{
+			Inner:      inner,
+			MaxRetries: retries,
+			Sleep:      func(d time.Duration) { slept = append(slept, d) },
+			Jitter:     rand.New(rand.NewSource(seed + int64(w))),
+		}
+		if err := r.Scan(func(int, []pattern.Symbol) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		sequences[w] = slept
+	}
+	for w := 1; w < workers; w++ {
+		same := true
+		for i := range sequences[0] {
+			if sequences[w][i] != sequences[0][i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("worker %d retries in lockstep with worker 0: %v", w, sequences[w])
+		}
+	}
+}
+
+// TestRetryScannerNilJitterKeepsDeterministicBackoff pins the default: with
+// no Jitter source the capped-exponential schedule is exact (the behavior
+// the pre-jitter tests assert, restated here as the explicit contract).
+func TestRetryScannerNilJitterKeepsDeterministicBackoff(t *testing.T) {
+	inner := &failNScanner{MemDB: sampleDB(), fail: 3, err: MarkTransient(errors.New("blip"))}
+	var slept []time.Duration
+	r := &RetryScanner{
+		Inner:      inner,
+		MaxRetries: 3,
+		Sleep:      func(d time.Duration) { slept = append(slept, d) },
+	}
+	if err := r.Scan(func(int, []pattern.Symbol) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("backoff[%d]=%v, want %v", i, slept[i], want[i])
+		}
+	}
+}

@@ -3,6 +3,7 @@ package seqdb
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/pattern"
@@ -56,6 +57,16 @@ type RetryScanner struct {
 	// aborts the wait immediately and returns ctx.Err(). A custom Sleep is
 	// called as-is, so cancellation is only observed after it returns.
 	Sleep func(time.Duration)
+	// Jitter, when set, applies full jitter to the backoff: each wait is
+	// drawn uniformly from [1, delay] instead of sleeping the deterministic
+	// capped-exponential delay, so N workers retrying a shared failing
+	// store spread their re-runs out instead of hammering it in lockstep
+	// (the AWS "full jitter" policy). The exponential schedule still drives
+	// the upper bound, so the worst-case wait is unchanged. The generator
+	// is used only from the scanning goroutine (scanners are not safe for
+	// concurrent scans), so an unshared *rand.Rand needs no locking; seed
+	// it for deterministic tests. Nil keeps the deterministic backoff.
+	Jitter *rand.Rand
 	// Classify reports whether an error is transient (default IsTransient).
 	Classify func(error) bool
 
@@ -145,9 +156,13 @@ func (r *RetryScanner) ScanPassContext(ctx context.Context, setup PassFunc) erro
 			return fmt.Errorf("seqdb: pass failed after %d attempts: %w", attempt, err)
 		}
 		r.stats.Retries++
+		wait := delay
+		if r.Jitter != nil {
+			wait = 1 + time.Duration(r.Jitter.Int63n(int64(delay)))
+		}
 		if r.Sleep != nil {
-			r.Sleep(delay)
-		} else if err := sleepContext(ctx, delay); err != nil {
+			r.Sleep(wait)
+		} else if err := sleepContext(ctx, wait); err != nil {
 			return err
 		}
 		delay *= 2

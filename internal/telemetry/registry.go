@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry is a named collection of Metrics — the serving layer's view of
+// telemetry, where many mining jobs run concurrently and each needs its own
+// collector while operators want one aggregated picture. All methods are
+// safe for concurrent use; the per-job Metrics themselves stay lock-free.
+//
+// A nil *Registry is inert: Get returns nil (which Metrics methods accept),
+// and the other methods are no-ops — so code can thread an optional registry
+// without conditionals, mirroring the nil-safe Metrics discipline.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]*Metrics
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]*Metrics)}
+}
+
+// Get returns the Metrics registered under name, creating one if absent.
+func (r *Registry) Get(name string) *Metrics {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.m[name]
+	if !ok {
+		m = &Metrics{}
+		r.m[name] = m
+	}
+	return m
+}
+
+// Lookup returns the Metrics registered under name, or nil.
+func (r *Registry) Lookup(name string) *Metrics {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[name]
+}
+
+// Remove drops the named Metrics. Snapshots taken before removal stay valid;
+// the collector itself is simply no longer reachable through the registry.
+func (r *Registry) Remove(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.m, name)
+}
+
+// Names returns the registered names, sorted.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.m))
+	for n := range r.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Each calls fn for every registered collector in sorted name order. fn runs
+// outside the registry lock, so it may call back into the registry.
+func (r *Registry) Each(fn func(name string, m *Metrics)) {
+	if r == nil {
+		return
+	}
+	for _, n := range r.Names() {
+		if m := r.Lookup(n); m != nil {
+			fn(n, m)
+		}
+	}
+}
+
+// Aggregate sums the headline scan-traffic counters across every registered
+// collector — the operator's one-line view of a busy server. Per-phase
+// attribution is left to the per-job snapshots.
+func (r *Registry) Aggregate() Snapshot {
+	var total Snapshot
+	r.Each(func(_ string, m *Metrics) {
+		s := m.Snapshot()
+		total.TotalScans += s.TotalScans
+		total.TotalSequences += s.TotalSequences
+		total.TotalSymbols += s.TotalSymbols
+		total.TotalBytes += s.TotalBytes
+		total.TotalMillis += s.TotalMillis
+		total.CheckpointWrites += s.CheckpointWrites
+		total.CheckpointBytes += s.CheckpointBytes
+		total.Probed += s.Probed
+		total.ProbeScans += s.ProbeScans
+	})
+	if total.TotalMillis > 0 {
+		total.SequencesPerSec = float64(total.TotalSequences) / (total.TotalMillis / 1000)
+	}
+	return total
+}

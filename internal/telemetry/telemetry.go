@@ -379,6 +379,12 @@ type Snapshot struct {
 	// Retry carries the scanner's pass/retry counters when the run used a
 	// retrying scanner (filled by the orchestrator, not by Metrics itself).
 	Retry seqdb.ScanStats `json:"retry"`
+
+	// Degraded flags a run whose Phase 3 budget expired and which returned
+	// the graceful partial result (filled by the orchestrator, not by
+	// Metrics itself) — so metrics consumers can tell a complete run from a
+	// degraded one without parsing the report.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Snapshot copies the current state. Safe to call concurrently with
@@ -486,6 +492,9 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	if s.Retry.Attempts > 0 {
 		p("  retries: %d attempts, %d retried, %d transient, %d permanent\n",
 			s.Retry.Attempts, s.Retry.Retries, s.Retry.Transient, s.Retry.Permanent)
+	}
+	if s.Degraded {
+		p("  degraded: true (phase 3 budget expired; result is the confirmed set)\n")
 	}
 	return err
 }

@@ -1,59 +1,196 @@
 #!/usr/bin/env bash
-# Crash-recovery end-to-end check: interrupt a checkpointed lspmine run with
-# SIGINT, resume from the snapshot, and require the resumed border to be
-# identical to an uninterrupted run's. Tolerates the signal landing after
-# the run already finished (the resume then skips every scan).
+# Crash-recovery end-to-end checks.
+#
+#   crash_recovery.sh [cli]    interrupt a checkpointed lspmine run with
+#                              SIGINT, resume from the snapshot, and require
+#                              the resumed border to be identical to an
+#                              uninterrupted run's.
+#   crash_recovery.sh serve    SIGKILL an lspserve daemon with jobs in
+#                              flight, restart it on the same journal, and
+#                              require every replayed job's result document
+#                              to be byte-identical to one mined by an
+#                              uninterrupted server.
+#
+# Both modes tolerate the kill landing after the work already finished (the
+# recovery then replays completed state instead of resuming, which must
+# still produce identical output).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+mode=${1:-cli}
+
 dir=$(mktemp -d)
-trap 'rm -rf "$dir"' EXIT
+server_pid=
+cleanup() {
+  [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+  rm -rf "$dir"
+}
+trap cleanup EXIT
 
-go build -o "$dir/lspgen" ./cmd/lspgen
-go build -o "$dir/lspmine" ./cmd/lspmine
+cli_mode() {
+  go build -o "$dir/lspgen" ./cmd/lspgen
+  go build -o "$dir/lspmine" ./cmd/lspmine
 
-"$dir/lspgen" -out "$dir/test.lsq" -matrix "$dir/compat.txt" \
-  -n 12000 -alpha 0.25 -seed 7
+  "$dir/lspgen" -out "$dir/test.lsq" -matrix "$dir/compat.txt" \
+    -n 12000 -alpha 0.25 -seed 7
 
-args=(-db "$dir/test.lsq" -matrix "$dir/compat.txt"
-  -min-match 0.08 -sample 800 -seed 7)
+  args=(-db "$dir/test.lsq" -matrix "$dir/compat.txt"
+    -min-match 0.08 -sample 800 -seed 7)
 
-"$dir/lspmine" "${args[@]}" >"$dir/baseline.txt"
+  "$dir/lspmine" "${args[@]}" >"$dir/baseline.txt"
 
-"$dir/lspmine" "${args[@]}" -checkpoint "$dir/run.lckp" \
-  >"$dir/killed.txt" 2>"$dir/killed.err" &
-pid=$!
-sleep 0.2
-kill -INT "$pid" 2>/dev/null || true
-rc=0
-wait "$pid" || rc=$?
+  "$dir/lspmine" "${args[@]}" -checkpoint "$dir/run.lckp" \
+    >"$dir/killed.txt" 2>"$dir/killed.err" &
+  pid=$!
+  sleep 0.2
+  kill -INT "$pid" 2>/dev/null || true
+  rc=0
+  wait "$pid" || rc=$?
 
-case "$rc" in
-130)
-  echo "run interrupted mid-flight"
-  grep -q "progress saved to" "$dir/killed.err"
-  ;;
-0)
-  echo "run finished before the signal landed; resume will skip everything"
-  ;;
-*)
-  echo "interrupted run exited with unexpected status $rc" >&2
-  cat "$dir/killed.err" >&2
+  case "$rc" in
+  130)
+    echo "run interrupted mid-flight"
+    grep -q "progress saved to" "$dir/killed.err"
+    ;;
+  0)
+    echo "run finished before the signal landed; resume will skip everything"
+    ;;
+  *)
+    echo "interrupted run exited with unexpected status $rc" >&2
+    cat "$dir/killed.err" >&2
+    exit 1
+    ;;
+  esac
+
+  if [ ! -f "$dir/run.lckp" ]; then
+    # The signal beat the first checkpoint write (mid-Phase 1). Produce a
+    # snapshot to resume from so the check still exercises the resume path.
+    echo "no snapshot written yet; rerunning to completion for one"
+    "$dir/lspmine" "${args[@]}" -checkpoint "$dir/run.lckp" >/dev/null
+  fi
+
+  "$dir/lspmine" "${args[@]}" -checkpoint "$dir/run.lckp" -resume -v \
+    >"$dir/resumed.txt"
+  grep -q "resumed from phase" "$dir/resumed.txt"
+  # Strip the -v preamble so the border list lines up with the plain baseline.
+  sed -n '/patterns (/,$p' "$dir/resumed.txt" >"$dir/resumed-border.txt"
+  diff -u "$dir/baseline.txt" "$dir/resumed-border.txt"
+  echo "crash recovery OK: resumed border identical to the uninterrupted run"
+}
+
+# serve_start DATA_DIR LOG_PREFIX — start lspserve on a free port and set
+# $server_pid/$base from the "lspserve listening on ..." stdout line.
+serve_start() {
+  "$dir/lspserve" -data "$1" -addr 127.0.0.1:0 \
+    >"$dir/$2.log" 2>"$dir/$2.err" &
+  server_pid=$!
+  base=
+  for _ in $(seq 1 100); do
+    base=$(sed -n 's#^lspserve listening on ##p' "$dir/$2.log")
+    [ -n "$base" ] && return 0
+    sleep 0.1
+  done
+  echo "lspserve ($2) did not come up" >&2
+  cat "$dir/$2.err" >&2
   exit 1
+}
+
+serve_stop() {
+  kill -TERM "$server_pid" 2>/dev/null || true
+  wait "$server_pid" 2>/dev/null || true
+  server_pid=
+}
+
+# submit SPEC_JSON — POST a job, print its id (responses are indented JSON).
+submit() {
+  curl -sf -X POST "$base/v1/jobs" -H 'Content-Type: application/json' \
+    -d "$1" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n1
+}
+
+# wait_done ID — poll until the job is done; fail on failed/canceled.
+wait_done() {
+  for _ in $(seq 1 600); do
+    st=$(curl -sf "$base/v1/jobs/$1")
+    if echo "$st" | grep -q '"state": *"done"'; then
+      return 0
+    fi
+    if echo "$st" | grep -Eq '"state": *"(failed|canceled)"'; then
+      echo "job $1 ended badly: $st" >&2
+      exit 1
+    fi
+    sleep 0.2
+  done
+  echo "job $1 never finished" >&2
+  exit 1
+}
+
+serve_mode() {
+  command -v curl >/dev/null || { echo "serve mode needs curl" >&2; exit 1; }
+  go build -o "$dir/lspgen" ./cmd/lspgen
+  go build -o "$dir/lspserve" ./cmd/lspserve
+
+  "$dir/lspgen" -out "$dir/test.lsq" -matrix "$dir/compat.txt" \
+    -n 12000 -alpha 0.25 -seed 7
+
+  spec1='{"db":"'$dir'/test.lsq","matrix":"'$dir'/compat.txt","min_match":0.08,"max_len":8,"max_gap":1,"sample":800,"seed":7}'
+  spec2='{"db":"'$dir'/test.lsq","matrix":"'$dir'/compat.txt","min_match":0.10,"max_len":8,"max_gap":1,"sample":800,"seed":11}'
+
+  # Baseline: an uninterrupted server mines both jobs.
+  serve_start "$dir/data-a" server-a
+  a1=$(submit "$spec1")
+  a2=$(submit "$spec2")
+  wait_done "$a1"
+  wait_done "$a2"
+  curl -sf "$base/v1/jobs/$a1/result" >"$dir/baseline1.json"
+  curl -sf "$base/v1/jobs/$a2/result" >"$dir/baseline2.json"
+  serve_stop
+
+  # Victim: same two jobs, SIGKILL once mining progress is checkpointed
+  # (after Phase 1 at the earliest, mid-Phase-3 probing at the latest).
+  serve_start "$dir/data-b" server-b
+  b1=$(submit "$spec1")
+  b2=$(submit "$spec2")
+  for _ in $(seq 1 200); do
+    n=$(ls "$dir/data-b/ckpt" 2>/dev/null | wc -l)
+    [ "$n" -ge 1 ] && break
+    sleep 0.05
+  done
+  sleep 0.3
+  kill -9 "$server_pid" 2>/dev/null || true
+  wait "$server_pid" 2>/dev/null || true
+  server_pid=
+
+  interrupted=$(grep -l '"state": "running"' "$dir/data-b/jobs"/*.json 2>/dev/null | wc -l)
+  if [ "${interrupted:-0}" -ge 1 ]; then
+    echo "SIGKILL landed with $interrupted job(s) journaled mid-run"
+  else
+    echo "jobs finished before the kill; restart replays completed state"
+  fi
+
+  # Revival: the journal replays, interrupted jobs resume from their
+  # checkpoints, and every result document must match the baseline byte for
+  # byte (the documents carry no timings or scheduling facts).
+  serve_start "$dir/data-b" server-b2
+  wait_done "$b1"
+  wait_done "$b2"
+  curl -sf "$base/v1/jobs/$b1/result" >"$dir/resumed1.json"
+  curl -sf "$base/v1/jobs/$b2/result" >"$dir/resumed2.json"
+  if [ "${interrupted:-0}" -ge 1 ]; then
+    curl -sf "$base/v1/jobs" | grep -q '"resumed":' ||
+      { echo "no job reports a resume after the kill" >&2; exit 1; }
+  fi
+  serve_stop
+
+  cmp "$dir/baseline1.json" "$dir/resumed1.json"
+  cmp "$dir/baseline2.json" "$dir/resumed2.json"
+  echo "serve crash recovery OK: replayed results byte-identical to the uninterrupted server's"
+}
+
+case "$mode" in
+cli) cli_mode ;;
+serve) serve_mode ;;
+*)
+  echo "usage: $0 [cli|serve]" >&2
+  exit 2
   ;;
 esac
-
-if [ ! -f "$dir/run.lckp" ]; then
-  # The signal beat the first checkpoint write (mid-Phase 1). Produce a
-  # snapshot to resume from so the check still exercises the resume path.
-  echo "no snapshot written yet; rerunning to completion for one"
-  "$dir/lspmine" "${args[@]}" -checkpoint "$dir/run.lckp" >/dev/null
-fi
-
-"$dir/lspmine" "${args[@]}" -checkpoint "$dir/run.lckp" -resume -v \
-  >"$dir/resumed.txt"
-grep -q "resumed from phase" "$dir/resumed.txt"
-# Strip the -v preamble so the border list lines up with the plain baseline.
-sed -n '/patterns (/,$p' "$dir/resumed.txt" >"$dir/resumed-border.txt"
-diff -u "$dir/baseline.txt" "$dir/resumed-border.txt"
-echo "crash recovery OK: resumed border identical to the uninterrupted run"
