@@ -153,6 +153,15 @@ type result struct {
 	Phase2NaiveMs   float64 `json:"phase2_naive_ms"`
 	Phase2SpeedupX  float64 `json:"phase2_speedup_x"`
 	LabelsIdentical bool    `json:"labels_identical"`
+	// Phase3ShardMs re-mines the last run with Phase 3 probe scans scattered
+	// over Phase3Shards database shards (the SoA scatter-gather path);
+	// Phase3SpeedupX is the single-pass Phase 3 wall time over the sharded
+	// one, and Phase3Identical confirms both runs mined the same frequent
+	// set and spent the same number of logical scans.
+	Phase3Shards    int     `json:"phase3_shards,omitempty"`
+	Phase3ShardMs   float64 `json:"phase3_shard_ms"`
+	Phase3SpeedupX  float64 `json:"phase3_speedup_x"`
+	Phase3Identical bool    `json:"phase3_identical"`
 	SequencesPerSec float64 `json:"sequences_per_sec"`
 	PeakCandidates  int64   `json:"peak_candidates"`
 	Frequent        int     `json:"frequent"`
@@ -289,7 +298,7 @@ func bench(w workload, runs int, seed int64) (result, error) {
 		return result{}, err
 	}
 
-	mine := func(metrics *telemetry.Metrics, runSeed int64, kernel core.Phase2Kernel) (*core.Result, time.Duration, error) {
+	mine := func(metrics *telemetry.Metrics, runSeed int64, kernel core.Phase2Kernel, shards int) (*core.Result, time.Duration, error) {
 		start := time.Now()
 		res, err := core.Mine(db, c, core.Config{
 			MinMatch:              w.MinMatch,
@@ -301,6 +310,7 @@ func bench(w workload, runs int, seed int64) (result, error) {
 			MemBudget:             w.MemBudget,
 			Finalizer:             w.Finalizer,
 			Workers:               runtime.NumCPU(),
+			Phase3Shards:          shards,
 			Phase2Kernel:          kernel,
 			Rng:                   rand.New(rand.NewSource(runSeed)),
 			Metrics:               metrics,
@@ -321,7 +331,7 @@ func bench(w workload, runs int, seed int64) (result, error) {
 		// both sequences of runs mine identical samples.
 		runSeed := seed + int64(i)
 		metrics := &telemetry.Metrics{}
-		res, d, err := mine(metrics, runSeed, core.KernelIncremental)
+		res, d, err := mine(metrics, runSeed, core.KernelIncremental, 0)
 		if err != nil {
 			return result{}, err
 		}
@@ -346,7 +356,7 @@ func bench(w workload, runs int, seed int64) (result, error) {
 			}
 			lastRes, lastSeed = res, runSeed
 		}
-		if _, d, err := mine(nil, runSeed, core.KernelIncremental); err != nil {
+		if _, d, err := mine(nil, runSeed, core.KernelIncremental, 0); err != nil {
 			return result{}, err
 		} else {
 			plain += d
@@ -356,7 +366,7 @@ func bench(w workload, runs int, seed int64) (result, error) {
 	// Mine the last run's sample once more with the naive per-pattern kernel:
 	// its Phase 2 wall time is the speedup baseline, and its classifications
 	// must agree with the incremental kernel's pattern for pattern.
-	naiveRes, _, err := mine(nil, lastSeed, core.KernelNaive)
+	naiveRes, _, err := mine(nil, lastSeed, core.KernelNaive, 0)
 	if err != nil {
 		return result{}, err
 	}
@@ -365,6 +375,40 @@ func bench(w workload, runs int, seed int64) (result, error) {
 		r.Phase2SpeedupX = r.Phase2NaiveMs / r.Phase2Ms
 	}
 	r.LabelsIdentical = sameLabels(lastRes, naiveRes)
+
+	// Re-mine the last run's sample with Phase 3 probes scattered over one
+	// shard per CPU (at least two, so the scatter-gather path and its SoA
+	// probe kernel are always the thing measured): the sharded run must mine
+	// the same frequent set with the same logical scan budget, only faster
+	// on the wall clock. Phase 3 is a few ms on the quick grid, so both
+	// sides are measured best-of-3 against the same seed to beat timer
+	// noise; the single-pass baseline is re-timed the same way rather than
+	// reusing the instrumented run's one-shot Phase3Ms.
+	r.Phase3Shards = max(2, runtime.NumCPU())
+	var shardRes *core.Result
+	var seqBest, shardBest time.Duration
+	for rep := 0; rep < 3; rep++ {
+		seqRes, _, err := mine(nil, lastSeed, core.KernelIncremental, 0)
+		if err != nil {
+			return result{}, err
+		}
+		if rep == 0 || seqRes.Phase3Time < seqBest {
+			seqBest = seqRes.Phase3Time
+		}
+		res, _, err := mine(nil, lastSeed, core.KernelIncremental, r.Phase3Shards)
+		if err != nil {
+			return result{}, err
+		}
+		if rep == 0 || res.Phase3Time < shardBest {
+			shardBest = res.Phase3Time
+		}
+		shardRes = res
+	}
+	r.Phase3ShardMs = float64(shardBest.Microseconds()) / 1000
+	if r.Phase3ShardMs > 0 {
+		r.Phase3SpeedupX = float64(seqBest.Microseconds()) / float64(shardBest.Microseconds())
+	}
+	r.Phase3Identical = sameFrequent(lastRes, shardRes) && lastRes.Scans == shardRes.Scans
 	r.NsPerOp = float64(instrumented.Nanoseconds()) / float64(runs)
 	r.PlainNsPerOp = float64(plain.Nanoseconds()) / float64(runs)
 	if r.PlainNsPerOp > 0 {
@@ -539,6 +583,22 @@ func sameLabels(a, b *core.Result) bool {
 		}
 	}
 	return true
+}
+
+// sameFrequent reports whether two runs mined exactly the same frequent set.
+func sameFrequent(a, b *core.Result) bool {
+	if a == nil || b == nil || a.Frequent.Len() != b.Frequent.Len() {
+		return false
+	}
+	same := true
+	a.Frequent.ForEach(func(p pattern.Pattern) bool {
+		if !b.Frequent.Contains(p) {
+			same = false
+			return false
+		}
+		return true
+	})
+	return same
 }
 
 func fatal(err error) {

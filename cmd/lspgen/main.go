@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"repro/internal/compat"
 	"repro/internal/datagen"
@@ -36,6 +37,7 @@ func main() {
 	alpha := flag.Float64("alpha", 0.2, "uniform substitution noise level")
 	seed := flag.Int64("seed", 1, "random seed")
 	gz := flag.Bool("gzip", false, "write databases in the gzip-compressed format")
+	shards := flag.Int("shards", 0, "write the test database as this many block-aligned shard files (<out-minus-.lsq>.shard-NNN-of-NNN.lsq) instead of one file, for lspmine's scatter-gather Phase 3")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -59,7 +61,17 @@ func main() {
 	if *gz {
 		writeDB = seqdb.WriteGzipFile
 	}
-	if err := writeDB(*out, test); err != nil {
+	var shardPaths []string
+	if *shards > 1 {
+		if *gz {
+			fatal(fmt.Errorf("-shards and -gzip are mutually exclusive (shard files are plain LSQ2)"))
+		}
+		base := strings.TrimSuffix(*out, ".lsq")
+		shardPaths, err = seqdb.WriteShardFiles(test, base, *shards)
+		if err != nil {
+			fatal(err)
+		}
+	} else if err := writeDB(*out, test); err != nil {
 		fatal(err)
 	}
 	if *stdOut != "" {
@@ -80,7 +92,13 @@ func main() {
 	}
 
 	a := pattern.GenericAlphabet(*m)
-	fmt.Printf("wrote %d sequences to %s (alpha=%g, matrix in %s)\n", test.Len(), *out, *alpha, *matrixOut)
+	if len(shardPaths) > 0 {
+		fmt.Printf("wrote %d sequences to %d shard files %s .. %s (alpha=%g, matrix in %s)\n",
+			test.Len(), len(shardPaths), shardPaths[0], shardPaths[len(shardPaths)-1], *alpha, *matrixOut)
+		fmt.Printf("mine them with: lspmine -db %s\n", strings.Join(shardPaths, ","))
+	} else {
+		fmt.Printf("wrote %d sequences to %s (alpha=%g, matrix in %s)\n", test.Len(), *out, *alpha, *matrixOut)
+	}
 	fmt.Println("planted motifs:")
 	for _, motif := range motifs {
 		fmt.Println("  ", a.Format(motif))

@@ -65,7 +65,7 @@ import (
 )
 
 func main() {
-	dbPath := flag.String("db", "", "sequence database (binary .lsq format)")
+	dbPath := flag.String("db", "", "sequence database (binary .lsq format; comma-separated paths open a multi-file shard set)")
 	matrixPath := flag.String("matrix", "", "compatibility matrix (text format)")
 	minMatch := flag.Float64("min-match", 0.01, "match threshold")
 	maxLen := flag.Int("max-len", 8, "maximum pattern length")
@@ -78,6 +78,7 @@ func main() {
 	engine := flag.String("engine", "candidates", "Phase 2 engine: candidates or sweep (sparse matrices)")
 	kernel := flag.String("phase2-kernel", "incremental", "Phase 2 sample kernel: incremental (prefix-extension cache) or naive (recompile per level)")
 	workers := flag.Int("workers", -1, "worker goroutines sharding Phase 2's sample and Phase 3's probe counting (-1 = all cores, 0/1 = sequential; results are identical for every count)")
+	phase3Shards := flag.Int("phase3-shards", 0, "scatter each Phase 3 probe scan over this many database shards, gathered deterministically (0/1 = single-pass probes; ignored when -db names a shard set)")
 	retries := flag.Int("retries", 0, "retry transient scan failures up to this many times per pass (0 = no retrying)")
 	ckptPath := flag.String("checkpoint", "", "persist progress to this snapshot file (crash-atomic; resumable with -resume)")
 	resume := flag.Bool("resume", false, "resume from the -checkpoint snapshot, skipping every full scan it records")
@@ -124,7 +125,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	db, err := seqdb.OpenAuto(*dbPath)
+	var db seqdb.Scanner
+	var err error
+	if paths := seqdb.ShardSetPaths(*dbPath); len(paths) > 1 {
+		db, err = seqdb.OpenShardSet(paths)
+	} else {
+		db, err = seqdb.OpenAuto(*dbPath)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -213,6 +220,7 @@ func main() {
 		MemBudget:             *budget,
 		Finalizer:             fin,
 		Workers:               *workers,
+		Phase3Shards:          *phase3Shards,
 		Phase2Kernel:          p2k,
 		Rng:                   rand.New(rand.NewSource(*seed)),
 		Metrics:               metrics,

@@ -7,7 +7,7 @@
 //	lspserve -data /var/lib/lspserve [-addr 127.0.0.1:8427] \
 //	         [-worker-slots N] [-max-workers-per-job N] [-queue-cap 64] \
 //	         [-tenant-rate 0] [-tenant-burst 1] [-tenant-max-active 0] \
-//	         [-phase3-timeout 0] [-v]
+//	         [-phase3-timeout 0] [-phase3-shards 0] [-v]
 //
 // API (JSON unless noted):
 //
@@ -65,6 +65,7 @@ func main() {
 	tenantBurst := flag.Int("tenant-burst", 1, "per-tenant submission burst (token bucket capacity)")
 	tenantMaxActive := flag.Int("tenant-max-active", 0, "per-tenant cap on queued+running jobs (0 = unlimited)")
 	phase3Timeout := flag.Duration("phase3-timeout", 0, "default Phase 3 budget for jobs that set none; expiry degrades the job gracefully (0 = unlimited)")
+	phase3Shards := flag.Int("phase3-shards", 0, "default Phase 3 probe-scan shard count for jobs that set none (0/1 = single-pass probes; results identical for every count)")
 	streamInterval := flag.Duration("stream-interval", 200*time.Millisecond, "cadence of /events status snapshots")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before giving up on in-flight jobs")
 	verbose := flag.Bool("v", false, "log job lifecycle events")
@@ -86,6 +87,7 @@ func main() {
 		TenantBurst:          *tenantBurst,
 		TenantMaxActive:      *tenantMaxActive,
 		DefaultPhase3Timeout: *phase3Timeout,
+		DefaultPhase3Shards:  *phase3Shards,
 		Registry:             telemetry.NewRegistry(),
 	}
 	if *verbose {

@@ -152,6 +152,7 @@ func FinalizeState(cfg Config, st *State, pick PickFunc) (*Result, error) {
 	if st == nil || st.Frequent == nil || st.Pending == nil || st.Exact == nil {
 		return nil, fmt.Errorf("border: incomplete state")
 	}
+	idx := buildLevelIndex(st.Pending)
 	for st.Pending.Len() > 0 {
 		if err := cfg.interrupted(); err != nil {
 			return nil, err
@@ -174,11 +175,12 @@ func FinalizeState(cfg Config, st *State, pick PickFunc) (*Result, error) {
 			cfg.Metrics.ProbeLayer(p.K())
 			st.Exact[p.Key()] = values[i]
 			st.Pending.Remove(p)
+			idx.remove(p)
 			if values[i] >= cfg.MinMatch {
 				st.Frequent.Add(p)
-				propagateFrequent(p, st.Pending, st.Frequent)
+				propagateFrequent(p, st.Pending, idx, st.Frequent)
 			} else {
-				propagateInfrequent(p, st.Pending)
+				propagateInfrequent(p, st.Pending, idx)
 			}
 		}
 		if cfg.AfterScan != nil {
@@ -197,34 +199,105 @@ func FinalizeState(cfg Config, st *State, pick PickFunc) (*Result, error) {
 	return res, nil
 }
 
-// propagateFrequent moves every pending subpattern of p to the frequent set
-// (Apriori: subpatterns of a frequent pattern are frequent).
-func propagateFrequent(p pattern.Pattern, pending, frequent *pattern.Set) {
-	var hits []pattern.Pattern
-	pending.ForEach(func(q pattern.Pattern) bool {
-		if q.IsSubpatternOf(p) {
-			hits = append(hits, q)
+// levelIndex buckets the pending region by lattice level K, so Apriori
+// propagation visits only the levels a probe outcome can actually reach.
+// Distinct trimmed patterns related by ⊑ always differ in K (a subpattern
+// with the same non-eternal count would be position-wise equal), so a
+// frequent probe at level k can only confirm pending patterns at levels
+// below k, and an infrequent one can only kill levels above k. The old
+// propagation rescanned the entire pending set for every probe in the batch
+// — O(batch × pending) subpattern tests per scan; the index reduces that to
+// the reachable levels, which on wide ambiguous regions is most of the work.
+//
+// The index is internal to the loop: it is rebuilt from Pending at
+// FinalizeState entry (State's public checkpoint shape is unchanged) and
+// maintained alongside every Pending mutation.
+type levelIndex struct {
+	levels map[int]*pattern.Set
+	lo, hi int // bounds of the initial region; levels only ever empty out
+}
+
+// buildLevelIndex buckets pending by K.
+func buildLevelIndex(pending *pattern.Set) *levelIndex {
+	idx := &levelIndex{levels: make(map[int]*pattern.Set)}
+	pending.ForEach(func(p pattern.Pattern) bool {
+		k := p.K()
+		s := idx.levels[k]
+		if s == nil {
+			s = pattern.NewSet()
+			idx.levels[k] = s
+		}
+		s.Add(p)
+		if len(idx.levels) == 1 && s.Len() == 1 {
+			idx.lo, idx.hi = k, k
+		} else {
+			if k < idx.lo {
+				idx.lo = k
+			}
+			if k > idx.hi {
+				idx.hi = k
+			}
 		}
 		return true
 	})
+	return idx
+}
+
+// remove drops p from its level bucket.
+func (ix *levelIndex) remove(p pattern.Pattern) {
+	k := p.K()
+	if s := ix.levels[k]; s != nil {
+		s.Remove(p)
+		if s.Len() == 0 {
+			delete(ix.levels, k)
+		}
+	}
+}
+
+// propagateFrequent moves every pending subpattern of p to the frequent set
+// (Apriori: subpatterns of a frequent pattern are frequent). Only levels
+// below K(p) can hold subpatterns of p.
+func propagateFrequent(p pattern.Pattern, pending *pattern.Set, ix *levelIndex, frequent *pattern.Set) {
+	var hits []pattern.Pattern
+	for l := ix.lo; l < p.K(); l++ {
+		s := ix.levels[l]
+		if s == nil {
+			continue
+		}
+		s.ForEach(func(q pattern.Pattern) bool {
+			if q.IsSubpatternOf(p) {
+				hits = append(hits, q)
+			}
+			return true
+		})
+	}
 	for _, q := range hits {
 		pending.Remove(q)
+		ix.remove(q)
 		frequent.Add(q)
 	}
 }
 
 // propagateInfrequent drops every pending superpattern of p (Apriori:
-// superpatterns of an infrequent pattern are infrequent).
-func propagateInfrequent(p pattern.Pattern, pending *pattern.Set) {
+// superpatterns of an infrequent pattern are infrequent). Only levels above
+// K(p) can hold superpatterns of p.
+func propagateInfrequent(p pattern.Pattern, pending *pattern.Set, ix *levelIndex) {
 	var hits []pattern.Pattern
-	pending.ForEach(func(q pattern.Pattern) bool {
-		if p.IsSubpatternOf(q) {
-			hits = append(hits, q)
+	for l := p.K() + 1; l <= ix.hi; l++ {
+		s := ix.levels[l]
+		if s == nil {
+			continue
 		}
-		return true
-	})
+		s.ForEach(func(q pattern.Pattern) bool {
+			if p.IsSubpatternOf(q) {
+				hits = append(hits, q)
+			}
+			return true
+		})
+	}
 	for _, q := range hits {
 		pending.Remove(q)
+		ix.remove(q)
 	}
 }
 

@@ -1,0 +1,165 @@
+package border
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+// naiveFinalize replicates the pre-index probe-and-propagate loop: identical
+// pick order and probe batches, but propagation rescans the entire pending
+// set for every probe. The level-indexed loop must be observationally
+// identical to it — same frequent set, same exact map, same scan count.
+func naiveFinalize(cfg Config, sampleFrequent, ambiguous *pattern.Set) (*Result, error) {
+	st := NewState(sampleFrequent, ambiguous)
+	for st.Pending.Len() > 0 {
+		batch := PickHalfway(st.Pending, cfg.MemBudget)
+		values, err := cfg.Probe(batch)
+		if err != nil {
+			return nil, err
+		}
+		st.Scans++
+		st.Probed += len(batch)
+		for i, p := range batch {
+			st.Exact[p.Key()] = values[i]
+			st.Pending.Remove(p)
+			var hits []pattern.Pattern
+			if values[i] >= cfg.MinMatch {
+				st.Frequent.Add(p)
+				st.Pending.ForEach(func(q pattern.Pattern) bool {
+					if q.IsSubpatternOf(p) {
+						hits = append(hits, q)
+					}
+					return true
+				})
+				for _, q := range hits {
+					st.Pending.Remove(q)
+					st.Frequent.Add(q)
+				}
+			} else {
+				st.Pending.ForEach(func(q pattern.Pattern) bool {
+					if p.IsSubpatternOf(q) {
+						hits = append(hits, q)
+					}
+					return true
+				})
+				for _, q := range hits {
+					st.Pending.Remove(q)
+				}
+			}
+		}
+	}
+	res := &Result{Frequent: st.Frequent, Exact: st.Exact, Scans: st.Scans, Probed: st.Probed}
+	res.Border = pattern.Border(res.Frequent)
+	return res, nil
+}
+
+// wideRegion builds the downward closure of count random top patterns of the
+// given length — a broad ambiguous region spanning many lattice levels.
+func wideRegion(rng *rand.Rand, count, length, symbols int) *pattern.Set {
+	region := pattern.NewSet()
+	var rec func(p pattern.Pattern)
+	rec = func(p pattern.Pattern) {
+		for _, q := range p.ImmediateSubpatterns() {
+			if region.Add(q) {
+				rec(q)
+			}
+		}
+	}
+	for i := 0; i < count; i++ {
+		top := make(pattern.Pattern, length)
+		for j := range top {
+			top[j] = pattern.Symbol(rng.Intn(symbols))
+		}
+		if region.Add(top) {
+			rec(top)
+		}
+	}
+	return region
+}
+
+// TestLevelIndexPropagationMatchesNaive: the level-indexed Apriori
+// propagation must yield byte-for-byte the frequent set, exact map, and scan
+// count of the full-rescan propagation, across random regions, truths, and
+// budgets.
+func TestLevelIndexPropagationMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		region := wideRegion(rng, 2, 6, 4)
+		members := region.Patterns()
+		truthBorder := pattern.NewSet()
+		for i := 0; i < 2; i++ {
+			truthBorder.Add(members[rng.Intn(len(members))])
+		}
+		probe := func(ps []pattern.Pattern) ([]float64, error) {
+			out := make([]float64, len(ps))
+			for i, p := range ps {
+				if truthBorder.CoveredBy(p) {
+					out[i] = 1
+				}
+			}
+			return out, nil
+		}
+		budget := 1 + rng.Intn(8)
+		cfg := Config{MinMatch: 0.5, MemBudget: budget, Probe: probe}
+		got, err := Collapse(cfg, pattern.NewSet(), region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := naiveFinalize(cfg, pattern.NewSet(), region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Scans != want.Scans || got.Probed != want.Probed {
+			t.Fatalf("trial %d budget %d: scans/probed %d/%d, naive %d/%d",
+				trial, budget, got.Scans, got.Probed, want.Scans, want.Probed)
+		}
+		if got.Frequent.Len() != want.Frequent.Len() {
+			t.Fatalf("trial %d: frequent %d vs naive %d", trial, got.Frequent.Len(), want.Frequent.Len())
+		}
+		want.Frequent.ForEach(func(p pattern.Pattern) bool {
+			if !got.Frequent.Contains(p) {
+				t.Fatalf("trial %d: naive frequent %v missing from indexed result", trial, p)
+			}
+			return true
+		})
+		if len(got.Exact) != len(want.Exact) {
+			t.Fatalf("trial %d: exact map size %d vs %d", trial, len(got.Exact), len(want.Exact))
+		}
+		for k, v := range want.Exact {
+			if gv, ok := got.Exact[k]; !ok || gv != v {
+				t.Fatalf("trial %d: exact[%q] = %v, naive %v", trial, k, gv, v)
+			}
+		}
+	}
+}
+
+// BenchmarkFinalizeWideRegion measures the probe-and-propagate loop on a
+// wide multi-level ambiguous region — the shape where propagation cost
+// dominates (probes here are free, so the loop body is all that is timed).
+func BenchmarkFinalizeWideRegion(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	region := wideRegion(rng, 6, 8, 5)
+	members := region.Patterns()
+	truthBorder := pattern.NewSet()
+	for i := 0; i < 4; i++ {
+		truthBorder.Add(members[rng.Intn(len(members))])
+	}
+	probe := func(ps []pattern.Pattern) ([]float64, error) {
+		out := make([]float64, len(ps))
+		for i, p := range ps {
+			if truthBorder.CoveredBy(p) {
+				out[i] = 1
+			}
+		}
+		return out, nil
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := Collapse(Config{MinMatch: 0.5, MemBudget: 64, Probe: probe}, pattern.NewSet(), region.Clone())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -155,6 +155,16 @@ type Config struct {
 	// across the sample. Results are identical for every worker count.
 	// Default 0 (sequential).
 	Workers int
+	// Phase3Shards > 1 scatters each Phase 3 probe scan over that many
+	// deterministic database shards, matched concurrently with the
+	// structure-of-arrays kernel and gathered in ascending shard order (one
+	// logical pass; see miner.ShardedMatchDBValuer). When the database is
+	// already a seqdb.Sharded (a native multi-file shard set) its own shard
+	// count is used and this value is ignored. Workers, when > 0, caps the
+	// concurrently-scanning shards. Values are bit-identical for every
+	// shard/worker count. 0 or 1 keeps the single-pass probe path. Like
+	// Workers, a tuning knob excluded from the checkpoint config hash.
+	Phase3Shards int
 	// Phase2Kernel selects the sample-scoring kernel for the
 	// candidate-driven Phase 2. Default KernelIncremental. A tuning knob:
 	// classifications agree between kernels, so it is excluded from the
@@ -186,13 +196,42 @@ type Config struct {
 	PhaseTimeouts PhaseTimeouts
 }
 
-// probeValuer picks the sequential or parallel counting kernel, both
-// cancellable through ctx and retry-safe when db re-runs failed passes.
+// probeValuer picks the Phase 3 counting kernel — sequential, parallel
+// (worker-partitioned patterns over one pass), or scatter-gather over
+// database shards — all cancellable through ctx and retry-safe when db
+// re-runs failed passes. The sharded path records its own telemetry (it
+// scans shards directly, not through the telemetry wrapper), so it receives
+// the unwrapped scanner plus the Metrics.
 func (c *Config) probeValuer(ctx context.Context, db seqdb.Scanner, src compat.Source) miner.Valuer {
+	if sh := c.shardedDB(db); sh != nil {
+		return miner.ShardedMatchDBValuerContext(ctx, sh, src, c.Workers, c.Metrics)
+	}
 	if c.Workers == 0 || c.Workers == 1 {
 		return miner.MatchDBValuerContext(ctx, db, src)
 	}
 	return miner.ParallelMatchDBValuerContext(ctx, db, src, c.Workers)
+}
+
+// shardedDB resolves the database the scatter-gather probe path scans: the
+// scanner's own shard set when the unwrapped database is a *seqdb.Sharded
+// with more than one shard, a Phase3Shards-way sharded view of it otherwise,
+// or nil when the single-pass path should be kept.
+func (c *Config) shardedDB(db seqdb.Scanner) *seqdb.Sharded {
+	raw := db
+	for {
+		u, ok := raw.(interface{ Unwrap() seqdb.Scanner })
+		if !ok {
+			break
+		}
+		raw = u.Unwrap()
+	}
+	if sh, ok := raw.(*seqdb.Sharded); ok && sh.NumShards() > 1 {
+		return sh
+	}
+	if c.Phase3Shards > 1 {
+		return seqdb.ShardScanner(raw, c.Phase3Shards)
+	}
+	return nil
 }
 
 func (c *Config) setDefaults() {
@@ -234,6 +273,9 @@ func (c *Config) validate() error {
 	}
 	if c.Phase2Kernel < KernelIncremental || c.Phase2Kernel > KernelNaive {
 		return fmt.Errorf("core: unknown Phase 2 kernel %d", c.Phase2Kernel)
+	}
+	if c.Phase3Shards < 0 {
+		return fmt.Errorf("core: negative Phase3Shards")
 	}
 	if err := c.PhaseTimeouts.validate(); err != nil {
 		return err

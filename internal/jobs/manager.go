@@ -58,6 +58,10 @@ type Options struct {
 	// own (0 = unlimited). Expiry degrades the job gracefully, never fails
 	// it.
 	DefaultPhase3Timeout time.Duration
+	// DefaultPhase3Shards scatters Phase 3 probe scans over this many
+	// database shards for specs that do not set their own (0 or 1 =
+	// single-pass probes). Purely a tuning knob — results are identical.
+	DefaultPhase3Shards int
 	// OpenDB opens a job's database scanner (default: seqdb.OpenAuto,
 	// wrapped in a jittered RetryScanner when spec.Retries > 0). Each job
 	// gets its own scanner — Scanner implementations are not safe for
@@ -503,6 +507,10 @@ func (m *Manager) mine(ctx context.Context, j *job, workers int) (*core.Result, 
 	if spec.Phase3TimeoutMillis > 0 {
 		phase3 = time.Duration(spec.Phase3TimeoutMillis) * time.Millisecond
 	}
+	shards := m.opts.DefaultPhase3Shards
+	if spec.Phase3Shards > 0 {
+		shards = spec.Phase3Shards
+	}
 	cfg := core.Config{
 		MinMatch:              spec.MinMatch,
 		Delta:                 spec.Delta,
@@ -513,6 +521,7 @@ func (m *Manager) mine(ctx context.Context, j *job, workers int) (*core.Result, 
 		MemBudget:             spec.MemBudget,
 		Finalizer:             fin,
 		Workers:               workers,
+		Phase3Shards:          shards,
 		Metrics:               j.metrics,
 		Checkpoint:            policy,
 		PhaseTimeouts:         core.PhaseTimeouts{Phase3: phase3},

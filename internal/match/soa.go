@@ -1,0 +1,104 @@
+package match
+
+import (
+	"repro/internal/compat"
+	"repro/internal/pattern"
+)
+
+// SoASet is a probe batch compiled into a structure-of-arrays layout: every
+// pattern's window length, non-eternal offsets, and matrix rows live in flat
+// parallel arrays indexed by one cursor, so the whole batch is matched
+// against a sequence in a single pass over contiguous memory — no per-pattern
+// pointer chasing, which is what the per-shard probe workers spend all their
+// time in. The layout is immutable after CompileSoA, so one SoASet is safely
+// shared by any number of concurrent shard workers, each accumulating into
+// its own sums slice.
+//
+// Per-sequence match values are computed with exactly Compiled.Match's
+// operations in exactly its order (first-window filter, left-to-right row
+// products, best-so-far cutoff), so they are bit-identical to the sequential
+// kernel's.
+type SoASet struct {
+	n        int
+	m        int         // alphabet size (firstOK row stride)
+	winLen   []int32     // pattern i's window length
+	offStart []int32     // pattern i's offs/rows span [offStart[i], offStart[i+1])
+	offs     []int32     // flat non-eternal position offsets within the window
+	rows     [][]float64 // matrix row per flat offset (shared via the row cache)
+	firstOK  []bool      // firstOK[i*m+obs]: pattern i's window starting at obs can be non-zero
+}
+
+// CompileSoA compiles a probe batch into the flat layout. All patterns share
+// one row cache, as CompileSet does.
+func CompileSoA(c compat.Source, ps []pattern.Pattern) (*SoASet, error) {
+	rc := newRowCache(c)
+	m := c.Size()
+	s := &SoASet{
+		n:        len(ps),
+		m:        m,
+		winLen:   make([]int32, len(ps)),
+		offStart: make([]int32, len(ps)+1),
+		firstOK:  make([]bool, len(ps)*m),
+	}
+	for i, p := range ps {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		s.winLen[i] = int32(len(p))
+		for off, d := range p {
+			if d.IsEternal() {
+				continue
+			}
+			s.offs = append(s.offs, int32(off))
+			s.rows = append(s.rows, rc.row(d))
+		}
+		s.offStart[i+1] = int32(len(s.offs))
+		firstRow := s.rows[s.offStart[i]] // offset 0: patterns never start eternal
+		for obs, v := range firstRow {
+			s.firstOK[i*m+obs] = v > 0
+		}
+	}
+	return s, nil
+}
+
+// Len returns the number of compiled patterns.
+func (s *SoASet) Len() int { return s.n }
+
+// Observe accumulates one sequence's match into sums[i] for every pattern i.
+// len(sums) must be Len(). Safe for concurrent use with distinct sums.
+func (s *SoASet) Observe(sums []float64, seq []pattern.Symbol) {
+	if s.n == 0 {
+		return
+	}
+	_ = sums[s.n-1]
+	for p := 0; p < s.n; p++ {
+		l := int(s.winLen[p])
+		if len(seq) < l {
+			continue
+		}
+		a, b := int(s.offStart[p]), int(s.offStart[p+1])
+		offs, rows := s.offs[a:b], s.rows[a:b]
+		firstOK := s.firstOK[p*s.m : (p+1)*s.m]
+		best := 0.0
+		for w := 0; w+l <= len(seq); w++ {
+			if !firstOK[seq[w]] {
+				continue
+			}
+			v := 1.0
+			for j, off := range offs {
+				v *= rows[j][seq[w+int(off)]]
+				if v <= best {
+					v = 0
+					break
+				}
+			}
+			if v > best {
+				best = v
+				if best == 1 {
+					break
+				}
+			}
+		}
+		sums[p] += best
+	}
+}

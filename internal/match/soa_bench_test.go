@@ -1,0 +1,54 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+// probeBenchWorkload builds one probe batch two ways — per-pattern compiled
+// and structure-of-arrays — over the same sequences, so the two probe
+// kernels are compared head to head.
+func probeBenchWorkload(b *testing.B) (*CompiledSet, *SoASet, [][]pattern.Symbol) {
+	rng := rand.New(rand.NewSource(7))
+	c := randomMatrix(rng, 20)
+	ps := make([]pattern.Pattern, 24)
+	for i := range ps {
+		ps[i] = randomPattern(rng, 20, 4)
+	}
+	seqs := make([][]pattern.Symbol, 400)
+	for i := range seqs {
+		seqs[i] = randomSeq(rng, 20, 80)
+	}
+	cs, err := CompileSet(c, ps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	soa, err := CompileSoA(c, ps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cs, soa, seqs
+}
+
+func BenchmarkProbeCompiledSet(b *testing.B) {
+	cs, _, seqs := probeBenchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, seq := range seqs {
+			cs.Observe(seq)
+		}
+	}
+}
+
+func BenchmarkProbeSoA(b *testing.B) {
+	_, soa, seqs := probeBenchWorkload(b)
+	sums := make([]float64, soa.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, seq := range seqs {
+			soa.Observe(sums, seq)
+		}
+	}
+}

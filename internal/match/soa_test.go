@@ -1,0 +1,87 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+// TestSoAMatchesCompiledBitwise: the structure-of-arrays kernel must
+// reproduce Compiled.Match bit-for-bit — same operations, same order — on
+// random matrices, patterns and sequences.
+func TestSoAMatchesCompiledBitwise(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	const m = 8
+	for trial := 0; trial < 50; trial++ {
+		c := randomMatrix(r, m)
+		var ps []pattern.Pattern
+		for len(ps) < 12 {
+			p := randomPattern(r, m, 6)
+			if p.Validate() == nil {
+				ps = append(ps, p)
+			}
+		}
+		soa, err := CompileSoA(c, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if soa.Len() != len(ps) {
+			t.Fatalf("Len %d, want %d", soa.Len(), len(ps))
+		}
+		compiled := make([]*Compiled, len(ps))
+		for i, p := range ps {
+			if compiled[i], err = Compile(c, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for s := 0; s < 40; s++ {
+			seq := randomSeq(r, m, 15)
+			sums := make([]float64, len(ps))
+			soa.Observe(sums, seq)
+			for i, cp := range compiled {
+				if want := cp.Match(seq); sums[i] != want {
+					t.Fatalf("trial %d pattern %v seq %v: SoA %v != Compiled %v",
+						trial, ps[i], seq, sums[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestSoAAccumulates: Observe adds onto the caller's sums rather than
+// overwriting them, which the per-block accumulation relies on.
+func TestSoAAccumulates(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const m = 6
+	c := randomMatrix(r, m)
+	ps := []pattern.Pattern{{1, 2}, {3}}
+	soa, err := CompileSoA(c, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := randomSeq(r, m, 10)
+	once := make([]float64, len(ps))
+	soa.Observe(once, seq)
+	twice := make([]float64, len(ps))
+	soa.Observe(twice, seq)
+	soa.Observe(twice, seq)
+	for i := range once {
+		if twice[i] != 2*once[i] {
+			t.Fatalf("pattern %d: %v after two observes, want %v", i, twice[i], 2*once[i])
+		}
+	}
+}
+
+func TestSoAEmptyBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	c := randomMatrix(r, 5)
+	soa, err := CompileSoA(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soa.Observe(nil, []pattern.Symbol{0, 1}) // must not panic
+	if soa.Len() != 0 {
+		t.Fatalf("Len %d", soa.Len())
+	}
+}

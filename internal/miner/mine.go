@@ -49,6 +49,10 @@ func DBValuer(db seqdb.Scanner, meas match.Measure) Valuer {
 // stale or estimated Len() cannot skew the values.
 func DBValuerContext(ctx context.Context, db seqdb.Scanner, meas match.Measure) Valuer {
 	return func(ps []pattern.Pattern) ([]float64, error) {
+		if len(ps) == 0 {
+			// An empty batch needs no counters, so it must not cost a scan.
+			return nil, nil
+		}
 		var sums []float64
 		var delivered int
 		err := seqdb.ScanPassContext(ctx, db, func() (func(id int, seq []pattern.Symbol) error, error) {
@@ -87,6 +91,10 @@ func MatchDBValuer(db seqdb.Scanner, c compat.Source) Valuer {
 // pass delivered — not db.Len(), so a stale Len() cannot skew the values.
 func MatchDBValuerContext(ctx context.Context, db seqdb.Scanner, c compat.Source) Valuer {
 	return func(ps []pattern.Pattern) ([]float64, error) {
+		if len(ps) == 0 {
+			// An empty batch needs no counters, so it must not cost a scan.
+			return nil, nil
+		}
 		var set *match.CompiledSet
 		err := seqdb.ScanPassContext(ctx, db, func() (func(id int, seq []pattern.Symbol) error, error) {
 			s, err := match.CompileSet(c, ps)

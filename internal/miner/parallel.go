@@ -34,12 +34,8 @@ func ParallelMatchDBValuerContext(ctx context.Context, db seqdb.Scanner, c compa
 	}
 	return func(ps []pattern.Pattern) ([]float64, error) {
 		if len(ps) == 0 {
-			err := seqdb.ScanPassContext(ctx, db, func() (func(int, []pattern.Symbol) error, error) {
-				return func(int, []pattern.Symbol) error { return nil }, nil
-			})
-			if err != nil {
-				return nil, err
-			}
+			// Nothing to count: answering from thin air costs no pass, so
+			// don't burn a full database scan on an empty batch.
 			return nil, nil
 		}
 		w := workers

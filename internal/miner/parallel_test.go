@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/compat"
+	"repro/internal/match"
 	"repro/internal/pattern"
 	"repro/internal/seqdb"
 )
@@ -95,9 +96,27 @@ func TestParallelValuerEmptyBatch(t *testing.T) {
 	if err != nil || len(out) != 0 {
 		t.Errorf("empty batch: %v, %v", out, err)
 	}
-	// An empty batch still costs the scan (the caller asked for a pass).
-	if db.Scans() != 1 {
-		t.Errorf("Scans=%d", db.Scans())
+	// Regression: an empty batch used to burn a full database scan counting
+	// nothing. It must answer without touching the database.
+	if db.Scans() != 0 {
+		t.Errorf("empty batch consumed %d scans, want 0", db.Scans())
+	}
+}
+
+func TestValuersEmptyBatchNoScan(t *testing.T) {
+	db, c, _ := randomWorkload(t, 3, 10, 5)
+	valuers := map[string]Valuer{
+		"MatchDBValuer": MatchDBValuer(db, c),
+		"DBValuer":      DBValuer(db, match.NewMatch(c)),
+	}
+	for name, v := range valuers {
+		out, err := v(nil)
+		if err != nil || len(out) != 0 {
+			t.Errorf("%s: empty batch: %v, %v", name, out, err)
+		}
+	}
+	if db.Scans() != 0 {
+		t.Errorf("empty batches consumed %d scans, want 0", db.Scans())
 	}
 }
 

@@ -1,0 +1,178 @@
+package miner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/compat"
+	"repro/internal/match"
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+	"repro/internal/telemetry"
+)
+
+// ShardedMatchDBValuer is MatchDBValuer scattered over database shards: one
+// logical probe scan fans the batch out to per-shard worker goroutines, each
+// matching every pattern against its shard with the structure-of-arrays
+// kernel (match.SoASet), and the per-shard (sum, count) pairs are gathered
+// with an ascending-order merge.
+//
+// Determinism: every shard accumulates on the database's fixed probe blocks
+// (seqdb.Sharded.BlockSize — a function of the database alone) and the
+// gather folds block sums in ascending global id order, so the returned
+// values are bit-identical for every shard and worker count over the same
+// database — the Phase 2 kernel's merge discipline applied to Phase 3.
+// Per-sequence match values are themselves bit-identical to Compiled.Match's
+// (see match.SoASet); only the summation grouping distinguishes the result
+// from the single-pass valuers', within float addition reassociation.
+func ShardedMatchDBValuer(sh *seqdb.Sharded, c compat.Source, workers int) Valuer {
+	return ShardedMatchDBValuerContext(nil, sh, c, workers, nil)
+}
+
+// shardBlocks is one shard's gather payload: per probe block, the per-pattern
+// match sums and the sequence count, in ascending block order.
+type shardBlocks struct {
+	sums [][]float64
+	ns   []int
+}
+
+// ShardedMatchDBValuerContext is ShardedMatchDBValuer with cancellation
+// checked between sequences, retry-safe per-shard passes (each shard's
+// accumulator is rebuilt per attempt), and telemetry: every delivered
+// sequence, one ScanDone per logical pass with real byte counts whenever the
+// backing stores report them (DiskDB/GzipDB; estimation only for
+// memory-backed shards), and one ShardScan per shard with its wall time.
+// workers bounds the concurrently-scanning shards (<= 0 scans all shards at
+// once, capped at GOMAXPROCS).
+func ShardedMatchDBValuerContext(ctx context.Context, sh *seqdb.Sharded, c compat.Source, workers int, m *telemetry.Metrics) Valuer {
+	return func(ps []pattern.Pattern) ([]float64, error) {
+		if len(ps) == 0 {
+			// An empty batch needs no pass at all (the probe loop never
+			// issues one, but a Valuer must not waste a scan on it).
+			return nil, nil
+		}
+		soa, err := match.CompileSoA(c, ps)
+		if err != nil {
+			return nil, err
+		}
+		shards := sh.NumShards()
+		block := sh.BlockSize()
+		conc := workers
+		if conc <= 0 || conc > shards {
+			conc = shards
+		}
+		if max := runtime.GOMAXPROCS(0); workers <= 0 && conc > max {
+			conc = max
+		}
+
+		passBytes, passReal := seqdb.RealBytes(sh)
+		var totalSymbols atomic.Int64
+
+		results := make([]shardBlocks, shards)
+		errs := make([]error, shards)
+		if conc == 1 {
+			// Nothing to overlap: scan the shards inline and skip the
+			// goroutine plumbing (the common case under GOMAXPROCS=1).
+			for s := 0; s < shards; s++ {
+				errs[s] = scanShard(ctx, sh.Shard(s), soa, len(ps), block, &results[s], &totalSymbols, m)
+			}
+		} else {
+			next := make(chan int)
+			var wg sync.WaitGroup
+			wg.Add(conc)
+			for w := 0; w < conc; w++ {
+				go func() {
+					defer wg.Done()
+					for s := range next {
+						errs[s] = scanShard(ctx, sh.Shard(s), soa, len(ps), block, &results[s], &totalSymbols, m)
+					}
+				}()
+			}
+			for s := 0; s < shards; s++ {
+				next <- s
+			}
+			close(next)
+			wg.Wait()
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		// Gather: fold block sums in ascending global id order. Shards are
+		// contiguous ascending ranges, so shard order is block order.
+		sums := make([]float64, len(ps))
+		n := 0
+		for s := range results {
+			for b, bs := range results[s].sums {
+				for i, v := range bs {
+					sums[i] += v
+				}
+				n += results[s].ns[b]
+			}
+		}
+		if n > 0 {
+			for i := range sums {
+				sums[i] /= float64(n)
+			}
+		}
+		sh.NotePass()
+		if passReal {
+			now, _ := seqdb.RealBytes(sh)
+			m.ScanDone(now-passBytes, false)
+		} else {
+			m.ScanDone(4*totalSymbols.Load(), true)
+		}
+		return sums, nil
+	}
+}
+
+// scanShard runs one shard's probe pass: accumulate per-block sums with the
+// SoA kernel, rebuilt per attempt for retry safety, and record the shard's
+// telemetry (wall time, sequences, real bytes when the shard reports them).
+func scanShard(ctx context.Context, shard seqdb.Scanner, soa *match.SoASet, batch, block int, out *shardBlocks, totalSymbols *atomic.Int64, m *telemetry.Metrics) error {
+	start := time.Now()
+	startBytes, realBytes := seqdb.RealBytes(shard)
+	var acc shardBlocks
+	var seqs, symbols int64
+	err := seqdb.ScanPassContext(ctx, shard, func() (func(id int, seq []pattern.Symbol) error, error) {
+		acc = shardBlocks{}
+		seqs, symbols = 0, 0
+		cur := -1
+		var flat []float64 // one backing array for the pass's block sums
+		return func(id int, seq []pattern.Symbol) error {
+			if b := id / block; b != cur {
+				if len(flat) < batch {
+					flat = make([]float64, batch*64)
+				}
+				acc.sums = append(acc.sums, flat[:batch:batch])
+				flat = flat[batch:]
+				acc.ns = append(acc.ns, 0)
+				cur = b
+			}
+			last := len(acc.sums) - 1
+			soa.Observe(acc.sums[last], seq)
+			acc.ns[last]++
+			seqs++
+			symbols += int64(len(seq))
+			m.Sequence(len(seq))
+			return nil
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	totalSymbols.Add(symbols)
+	*out = acc
+	bytes := int64(-1)
+	if realBytes {
+		now, _ := seqdb.RealBytes(shard)
+		bytes = now - startBytes
+	}
+	m.ShardScan(time.Since(start), seqs, bytes)
+	return nil
+}

@@ -1,0 +1,79 @@
+package miner
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/seqdb"
+)
+
+// TestShardedValuerInvariance: the scatter-gather valuer must return
+// bit-identical values for every shard and worker count over the same
+// database — the block-accumulate + ascending-merge discipline.
+func TestShardedValuerInvariance(t *testing.T) {
+	db, c, ps := randomWorkload(t, 11, 400, 12)
+	var ref []float64
+	for _, shards := range []int{1, 2, 3, 5, 8, 64} {
+		for _, workers := range []int{0, 1, 2, 7} {
+			sh := seqdb.ShardScanner(db, shards)
+			got, err := ShardedMatchDBValuer(sh, c, workers)(ps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = got
+				continue
+			}
+			for i := range ps {
+				if got[i] != ref[i] {
+					t.Fatalf("shards=%d workers=%d pattern %d: %v != %v (not bit-identical)",
+						shards, workers, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedValuerAgreesWithSequential: block-merged sums differ from the
+// single-pass running sum only by float addition reassociation.
+func TestShardedValuerAgreesWithSequential(t *testing.T) {
+	db, c, ps := randomWorkload(t, 12, 300, 10)
+	want, err := MatchDBValuer(db, c)(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := seqdb.ShardScanner(db, 4)
+	got, err := ShardedMatchDBValuer(sh, c, 0)(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ps {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("pattern %d: sharded %v vs sequential %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestShardedValuerScanAccounting: one gather = one logical pass on the
+// Sharded, zero full passes on the backing store, and no pass at all for an
+// empty batch.
+func TestShardedValuerScanAccounting(t *testing.T) {
+	db, c, ps := randomWorkload(t, 13, 200, 8)
+	sh := seqdb.ShardScanner(db, 3)
+	v := ShardedMatchDBValuer(sh, c, 0)
+	if out, err := v(nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+	if sh.Scans() != 0 {
+		t.Fatalf("empty batch consumed %d logical passes, want 0", sh.Scans())
+	}
+	if _, err := v(ps); err != nil {
+		t.Fatal(err)
+	}
+	if sh.Scans() != 1 {
+		t.Errorf("Sharded.Scans=%d after one probe, want 1", sh.Scans())
+	}
+	if db.Scans() != 0 {
+		t.Errorf("backing store counted %d full passes, want 0", db.Scans())
+	}
+}

@@ -222,6 +222,38 @@ func MineEngine(fin core.Finalizer, kernel core.Phase2Kernel, workers int) Engin
 	}}
 }
 
+// MineEngineSharded is MineEngine with Phase 3 probe scans scattered over
+// shards database shards (the structure-of-arrays scatter-gather path). The
+// mined frequent set must be identical to every other engine's: sharding is
+// purely an execution layout.
+func MineEngineSharded(fin core.Finalizer, kernel core.Phase2Kernel, workers, shards int) Engine {
+	base := MineEngine(fin, kernel, workers)
+	name := fmt.Sprintf("%s/shards=%d", base.Name, shards)
+	return Engine{Name: name, Ref: RefMatch, Mine: func(cs *Case) (*pattern.Set, error) {
+		cfg := core.Config{
+			MinMatch:     cs.MinMatch,
+			Delta:        cs.Delta,
+			SampleSize:   len(cs.DB),
+			MaxLen:       cs.MaxLen,
+			MaxGap:       cs.MaxGap,
+			MemBudget:    cs.MemBudget,
+			Finalizer:    fin,
+			Workers:      workers,
+			Phase3Shards: shards,
+			Phase2Kernel: kernel,
+			Rng:          caseRng(cs),
+		}
+		res, err := core.Mine(seqdb.NewMemDB(cs.DB), cs.C, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if fin == core.BorderCollapsingImplicit {
+			return implicitInSpace(cs, res.Frequent)
+		}
+		return res.Frequent, nil
+	}}
+}
+
 // implicitInSpace checks that every member of the implicit finalizer's
 // closure is genuinely frequent per the oracle, then restricts the set to
 // the case's gap-bounded space so it is comparable to the other engines.
@@ -285,8 +317,9 @@ func SupportExhaustiveEngine() Engine {
 }
 
 // Battery returns the standard cross-check battery: the full pipeline under
-// both Phase 2 kernels and several worker counts, all three resolving
-// finalizers, the exhaustive miner, Max-Miner, and both support miners.
+// both Phase 2 kernels, several worker counts, and sharded Phase 3 probe
+// scans, all three resolving finalizers, the exhaustive miner, Max-Miner,
+// and both support miners.
 func Battery() []Engine {
 	return []Engine{
 		MineEngine(core.BorderCollapsing, core.KernelIncremental, 0),
@@ -294,6 +327,9 @@ func Battery() []Engine {
 		MineEngine(core.BorderCollapsing, core.KernelNaive, 2),
 		MineEngine(core.LevelWise, core.KernelIncremental, 2),
 		MineEngine(core.BorderCollapsingImplicit, core.KernelNaive, 0),
+		MineEngineSharded(core.BorderCollapsing, core.KernelIncremental, 0, 4),
+		MineEngineSharded(core.BorderCollapsing, core.KernelIncremental, 2, 3),
+		MineEngineSharded(core.BorderCollapsingImplicit, core.KernelIncremental, 0, 2),
 		ExhaustiveEngine(),
 		MaxMinerEngine(),
 		SupportSweepEngine(),

@@ -257,6 +257,30 @@ func (r *crcReader) ReadByte() (byte, error) {
 // invalid length, truncated payload (LSQ2), missing trailer, or trailing
 // garbage — is reported as a *CorruptError naming the offending sequence.
 func (db *DiskDB) ScanContext(ctx context.Context, fn func(id int, seq []pattern.Symbol) error) error {
+	return db.scanRange(ctx, 0, db.n, fn, true)
+}
+
+// ScanRangeContext implements RangeScanner: the format has no index, so the
+// prefix before lo is still decoded (and checksum-verified), but reading
+// stops right after hi-1 — a shard over the file's head never pays for its
+// tail. A range delivery is a partial pass and does not count as a scan.
+func (db *DiskDB) ScanRangeContext(ctx context.Context, lo, hi int, fn func(id int, seq []pattern.Symbol) error) error {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > db.n {
+		hi = db.n
+	}
+	if lo >= hi {
+		return nil
+	}
+	return db.scanRange(ctx, lo, hi, fn, false)
+}
+
+// scanRange streams sequences [0, hi), delivering [lo, hi). With full set it
+// additionally verifies the end-of-stream trailer, rejects trailing garbage,
+// and counts the completed pass.
+func (db *DiskDB) scanRange(ctx context.Context, lo, hi int, fn func(id int, seq []pattern.Symbol) error, full bool) error {
 	f, err := os.Open(db.path)
 	if err != nil {
 		return fmt.Errorf("seqdb: open: %w", err)
@@ -269,7 +293,7 @@ func (db *DiskDB) ScanContext(ctx context.Context, fn func(id int, seq []pattern
 	checksummed := db.version >= 2
 	rr := &crcReader{br: br}
 	var seq []pattern.Symbol
-	for i := 0; i < db.n; i++ {
+	for i := 0; i < hi; i++ {
 		if err := ctxErr(ctx); err != nil {
 			return err
 		}
@@ -301,9 +325,14 @@ func (db *DiskDB) ScanContext(ctx context.Context, fn func(id int, seq []pattern
 				return corrupt(db.path, i, fmt.Sprintf("checksum mismatch (got %08x, want %08x)", got, want), nil)
 			}
 		}
-		if err := fn(i, seq); err != nil {
-			return err
+		if i >= lo {
+			if err := fn(i, seq); err != nil {
+				return err
+			}
 		}
+	}
+	if !full {
+		return nil
 	}
 	if checksummed {
 		var tr [8]byte

@@ -117,6 +117,7 @@ type GzipDB struct {
 	path  string
 	n     int
 	scans atomic.Int64 // readable concurrently with a scan (progress UIs)
+	bytes atomic.Int64
 }
 
 // OpenGzipFile validates the header of a compressed database.
@@ -150,6 +151,12 @@ func (db *GzipDB) ResetScans() { db.scans.Store(0) }
 // Path returns the backing file path.
 func (db *GzipDB) Path() string { return db.path }
 
+// BytesRead returns the total compressed bytes read from the backing file
+// across all passes so far — the store's real delivered I/O, measured before
+// decompression, so the telemetry layer reports actual disk traffic instead
+// of a symbol-count estimate.
+func (db *GzipDB) BytesRead() int64 { return db.bytes.Load() }
+
 // Scan implements Scanner.
 func (db *GzipDB) Scan(fn func(id int, seq []pattern.Symbol) error) error {
 	return db.ScanContext(nil, fn)
@@ -168,7 +175,8 @@ func (db *GzipDB) ScanContext(ctx context.Context, fn func(id int, seq []pattern
 	if _, err := f.Seek(12, io.SeekStart); err != nil {
 		return fmt.Errorf("seqdb: skip header: %w", err)
 	}
-	zr, err := gzip.NewReader(bufio.NewReaderSize(f, 1<<20))
+	db.bytes.Add(12) // header bytes consumed by OpenGzipFile's validation path
+	zr, err := gzip.NewReader(bufio.NewReaderSize(&countingReader{r: f, n: &db.bytes}, 1<<20))
 	if err != nil {
 		return fmt.Errorf("seqdb: gzip: %w", err)
 	}

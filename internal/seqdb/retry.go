@@ -109,6 +109,25 @@ func (r *RetryScanner) ScanContext(ctx context.Context, fn func(id int, seq []pa
 // are retried with capped exponential backoff, everything else returns
 // immediately.
 func (r *RetryScanner) ScanPassContext(ctx context.Context, setup PassFunc) error {
+	return r.retryPass(ctx, setup, func(fn func(id int, seq []pattern.Symbol) error) error {
+		return ScanContext(ctx, r.Inner, fn)
+	})
+}
+
+// ScanRangePassContext implements RangePassScanner: one logical pass over the
+// id range [lo, hi) of the wrapped scanner under the same retry policy as
+// ScanPassContext. The range is scanned natively when the wrapped scanner
+// implements RangeScanner and by a filtered full pass otherwise; either way a
+// transient failure re-runs the whole range with fresh consumer state.
+func (r *RetryScanner) ScanRangePassContext(ctx context.Context, lo, hi int, setup PassFunc) error {
+	return r.retryPass(ctx, setup, func(fn func(id int, seq []pattern.Symbol) error) error {
+		return scanRangeOnce(ctx, r.Inner, lo, hi, fn)
+	})
+}
+
+// retryPass is the shared attempt loop: setup fresh state, run one pass via
+// run, classify failures, back off and retry transients.
+func (r *RetryScanner) retryPass(ctx context.Context, setup PassFunc, run func(fn func(id int, seq []pattern.Symbol) error) error) error {
 	maxRetries := r.MaxRetries
 	if maxRetries == 0 {
 		maxRetries = 3
@@ -138,7 +157,7 @@ func (r *RetryScanner) ScanPassContext(ctx context.Context, setup PassFunc) erro
 			return err
 		}
 		r.stats.Attempts++
-		err = ScanContext(ctx, r.Inner, fn)
+		err = run(fn)
 		if err == nil {
 			r.stats.Completed++
 			return nil

@@ -154,6 +154,27 @@ func (db *MemDB) ScanContext(ctx context.Context, fn func(id int, seq []pattern.
 	return nil
 }
 
+// ScanRangeContext implements RangeScanner by direct slice indexing: the id
+// range [lo, hi) is delivered without touching the rest of the database, and
+// the partial pass does not count as a scan.
+func (db *MemDB) ScanRangeContext(ctx context.Context, lo, hi int, fn func(id int, seq []pattern.Symbol) error) error {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(db.seqs) {
+		hi = len(db.seqs)
+	}
+	for i := lo; i < hi; i++ {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		if err := fn(i, db.seqs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Validate checks that every sequence is non-empty and uses only concrete
 // symbols below m (pass m <= 0 to skip the upper-bound check).
 func (db *MemDB) Validate(m int) error {

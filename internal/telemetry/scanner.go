@@ -8,8 +8,12 @@ import (
 )
 
 // ByteReporter is implemented by stores that can report real I/O bytes
-// consumed so far (seqdb.DiskDB). Stores without it get a 4-bytes-per-symbol
-// estimate (the in-memory size of pattern.Symbol).
+// consumed so far (seqdb.DiskDB, seqdb.GzipDB). Stores without it get a
+// 4-bytes-per-symbol estimate (the in-memory size of pattern.Symbol).
+//
+// A store may additionally implement ReportsBytes() bool to disclaim its
+// counter at runtime (seqdb.Sharded over memory-backed shards always returns
+// 0 real bytes); when it returns false the estimate path is used instead.
 type ByteReporter interface {
 	BytesRead() int64
 }
@@ -63,8 +67,10 @@ type passMeter struct {
 func (s *Scanner) newPassMeter() *passMeter {
 	pm := &passMeter{}
 	if br, ok := s.inner.(ByteReporter); ok {
-		pm.br = br
-		pm.startBytes = br.BytesRead()
+		if dis, ok := s.inner.(interface{ ReportsBytes() bool }); !ok || dis.ReportsBytes() {
+			pm.br = br
+			pm.startBytes = br.BytesRead()
+		}
 	}
 	return pm
 }

@@ -169,6 +169,12 @@ type Metrics struct {
 	probeBatch  Histogram // patterns probed per scan
 	probeLayers Histogram // lattice level (K) of each probed pattern — §4.3's layer choices
 
+	// Phase 3 scatter-gather accounting (sharded probe path).
+	shardScans Counter   // per-shard scans completed
+	shardUs    Histogram // per-shard scan wall time, microseconds
+	shardSeqs  Counter   // sequences delivered by shard scans
+	shardBytes Counter   // real bytes read by shard scans (only shards that report I/O)
+
 	// Checkpoint/resume accounting.
 	ckptWrites   Counter // snapshots persisted
 	ckptBytes    Counter // bytes written across all snapshots
@@ -285,6 +291,22 @@ func (m *Metrics) ProbeLayer(k int) {
 	m.probeLayers.Observe(int64(k))
 }
 
+// ShardScan records one shard's completed probe scan: its wall time, the
+// sequences it delivered, and the real bytes it read from its backing store
+// (pass -1 when the shard cannot report real I/O — memory-backed shards —
+// and the byte counter is left untouched).
+func (m *Metrics) ShardScan(d time.Duration, sequences, bytes int64) {
+	if m == nil {
+		return
+	}
+	m.shardScans.Inc()
+	m.shardUs.Observe(d.Microseconds())
+	m.shardSeqs.Add(sequences)
+	if bytes >= 0 {
+		m.shardBytes.Add(bytes)
+	}
+}
+
 // CheckpointWrite records one persisted snapshot of the given size and the
 // wall time its write took.
 func (m *Metrics) CheckpointWrite(bytes int64, d time.Duration) {
@@ -363,6 +385,11 @@ type Snapshot struct {
 	ProbeBatch  HistogramSnapshot `json:"probe_batch"`
 	ProbeLayers HistogramSnapshot `json:"probe_layers"`
 
+	ShardScans     int64             `json:"phase3_shard_scans,omitempty"`
+	ShardScanUs    HistogramSnapshot `json:"phase3_shard_scan_us,omitzero"`
+	ShardSequences int64             `json:"phase3_shard_sequences,omitempty"`
+	ShardBytes     int64             `json:"phase3_shard_bytes,omitempty"`
+
 	KernelExtended  int64 `json:"kernel_extended,omitempty"`
 	KernelScratch   int64 `json:"kernel_scratch,omitempty"`
 	KernelWindows   int64 `json:"kernel_windows,omitempty"`
@@ -437,6 +464,12 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.ProbeBatch = m.probeBatch.Snapshot()
 	s.ProbeScans = s.ProbeBatch.Count
 	s.ProbeLayers = m.probeLayers.Snapshot()
+	s.ShardScans = m.shardScans.Load()
+	if s.ShardScans > 0 {
+		s.ShardScanUs = m.shardUs.Snapshot()
+	}
+	s.ShardSequences = m.shardSeqs.Load()
+	s.ShardBytes = m.shardBytes.Load()
 	s.CheckpointWrites = m.ckptWrites.Load()
 	s.CheckpointBytes = m.ckptBytes.Load()
 	s.CheckpointMillis = float64(m.ckptTime.Elapsed().Microseconds()) / 1000
@@ -481,6 +514,10 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		s.Probed, s.ProbeScans, s.ProbeBatch.Mean, s.ProbeBatch.Max)
 	if s.ProbeLayers.Count > 0 {
 		p("  layers: mean K %.1f, max K %d\n", s.ProbeLayers.Mean, s.ProbeLayers.Max)
+	}
+	if s.ShardScans > 0 {
+		p("  phase-3 shards: %d shard scans (mean %.1f us, max %d us), %d sequences, %d real bytes\n",
+			s.ShardScans, s.ShardScanUs.Mean, s.ShardScanUs.Max, s.ShardSequences, s.ShardBytes)
 	}
 	if s.CheckpointWrites > 0 {
 		p("  checkpoints: %d writes, %d bytes, %.1f ms\n",
