@@ -8,9 +8,24 @@
 //	        [-max-len 8] [-max-gap 1] [-sample 1000] [-delta 1e-4] \
 //	        [-budget 10000] [-finalizer collapse|levelwise|none] [-seed 1] \
 //	        [-phase2-kernel incremental|naive] [-workers -1] \
-//	        [-retries 3] [-checkpoint run.lckp] [-resume] [-phase-timeout 30s] \
+//	        [-retries 3] [-retry-base 10ms] [-retry-cap 1s] \
+//	        [-checkpoint run.lckp] [-resume] [-phase-timeout 30s] \
+//	        [-phase3-nodes http://a:8427,http://b:8427] [-auth-token T] \
+//	        [-phase3-hedge 0] [-rpc-timeout 0] \
 //	        [-all] [-v] [-metrics json|text] \
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -phase3-nodes distributes Phase 3's probe scans over remote lspserve
+// shard workers (started with -serve-shards over the same database): each
+// probe batch is scattered shard-by-shard across the nodes and gathered
+// deterministically, so the mined result is bit-identical to a local run.
+// Node failures are retried with full-jitter backoff and reassigned to
+// healthy nodes; -phase3-hedge launches a duplicate probe on a second node
+// when the first dawdles past the given duration, and -rpc-timeout bounds
+// each attempt. A shard no node can serve degrades the run gracefully
+// (confirmed set + Chernoff intervals, resumable from -checkpoint) instead
+// of failing it. -retry-base/-retry-cap shape both the local retrying
+// scanner's backoff and the shard RPC retry backoff.
 //
 // Phase 2 scores each lattice level with the incremental prefix-extension
 // kernel by default, sharding the sample across -workers goroutines;
@@ -55,12 +70,15 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 
 	"repro/internal/compat"
 	"repro/internal/core"
+	"repro/internal/miner"
 	"repro/internal/pattern"
 	"repro/internal/seqdb"
+	"repro/internal/shardrpc"
 	"repro/internal/telemetry"
 )
 
@@ -79,7 +97,13 @@ func main() {
 	kernel := flag.String("phase2-kernel", "incremental", "Phase 2 sample kernel: incremental (prefix-extension cache) or naive (recompile per level)")
 	workers := flag.Int("workers", -1, "worker goroutines sharding Phase 2's sample and Phase 3's probe counting (-1 = all cores, 0/1 = sequential; results are identical for every count)")
 	phase3Shards := flag.Int("phase3-shards", 0, "scatter each Phase 3 probe scan over this many database shards, gathered deterministically (0/1 = single-pass probes; ignored when -db names a shard set)")
-	retries := flag.Int("retries", 0, "retry transient scan failures up to this many times per pass (0 = no retrying)")
+	retries := flag.Int("retries", 0, "retry transient scan failures up to this many times per pass (0 = no retrying); also caps shard RPC attempts with -phase3-nodes")
+	retryBase := flag.Duration("retry-base", 0, "base delay of retry backoff — both the retrying scanner's and the shard RPC's (0 = 10ms)")
+	retryCap := flag.Duration("retry-cap", 0, "delay cap of retry backoff (0 = 1s)")
+	phase3Nodes := flag.String("phase3-nodes", "", "comma-separated lspserve shard-worker base URLs; Phase 3 probe scans scatter across them (bit-identical to a local run)")
+	authToken := flag.String("auth-token", "", "bearer token sent to -phase3-nodes workers")
+	phase3Hedge := flag.Duration("phase3-hedge", 0, "hedge a straggling shard probe on a second node after this long (0 = no hedging)")
+	rpcTimeout := flag.Duration("rpc-timeout", 0, "per-attempt timeout of shard probe RPCs (0 = none; the phase budget still applies)")
 	ckptPath := flag.String("checkpoint", "", "persist progress to this snapshot file (crash-atomic; resumable with -resume)")
 	resume := flag.Bool("resume", false, "resume from the -checkpoint snapshot, skipping every full scan it records")
 	phaseTimeout := flag.Duration("phase-timeout", 0, "Phase 3 wall-clock budget; on expiry the run degrades gracefully instead of failing (0 = unlimited)")
@@ -135,6 +159,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *retryBase < 0 || *retryCap < 0 || (*retryBase > 0 && *retryCap > 0 && *retryCap < *retryBase) {
+		fatal(errors.New("-retry-cap must be >= -retry-base, both non-negative"))
+	}
 	if *retries > 0 {
 		// Full-jitter backoff: seeded from -seed so runs stay reproducible,
 		// while concurrent miners hitting one flaky store spread their
@@ -142,6 +169,8 @@ func main() {
 		db = &seqdb.RetryScanner{
 			Inner:      db,
 			MaxRetries: *retries,
+			BaseDelay:  *retryBase,
+			MaxDelay:   *retryCap,
 			Jitter:     rand.New(rand.NewSource(*seed)),
 		}
 	}
@@ -229,6 +258,37 @@ func main() {
 	if *ckptPath != "" {
 		cfg.Checkpoint = &core.CheckpointPolicy{Path: *ckptPath, Seed: *seed}
 	}
+	if *phase3Nodes != "" {
+		var clients []*shardrpc.Client
+		for _, u := range strings.Split(*phase3Nodes, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				if !strings.Contains(u, "://") {
+					u = "http://" + u
+				}
+				clients = append(clients, &shardrpc.Client{BaseURL: u, AuthToken: *authToken})
+			}
+		}
+		if len(clients) == 0 {
+			fatal(errors.New("-phase3-nodes lists no nodes"))
+		}
+		pool := &shardrpc.Pool{
+			Clients:    clients,
+			Retry:      shardrpc.RetryPolicy{MaxAttempts: *retries, Base: *retryBase, Cap: *retryCap},
+			Timeout:    *rpcTimeout,
+			HedgeAfter: *phase3Hedge,
+			Jitter:     rand.New(rand.NewSource(*seed)),
+			Metrics:    metrics,
+		}
+		// Shard layout: -phase3-shards when set, else one shard per node.
+		// Block-aligned gather makes the result identical for every count.
+		nshards := *phase3Shards
+		if nshards < 1 {
+			nshards = len(clients)
+		}
+		cfg.ProbeValuer = func(ctx context.Context, db seqdb.Scanner, c compat.Source) miner.Valuer {
+			return miner.RemoteShardValuerContext(ctx, seqdb.ShardedView(db, nshards), pool, c, *workers, metrics)
+		}
+	}
 	var res *core.Result
 	if *resume {
 		if *ckptPath == "" {
@@ -258,8 +318,8 @@ func main() {
 		return
 	}
 	if res.Degraded {
-		fmt.Fprintf(os.Stderr, "lspmine: phase 3 budget expired; degraded result with %d unresolved patterns (resume with -resume to finish)\n",
-			len(res.Unresolved))
+		fmt.Fprintf(os.Stderr, "lspmine: %s; degraded result with %d unresolved patterns (resume with -resume to finish)\n",
+			degradeCause(res), len(res.Unresolved))
 	}
 	if *verbose {
 		fmt.Printf("sequences: %d, sample: %d, scans: %d\n", db.Len(), res.SampleSize, res.Scans)
@@ -289,13 +349,21 @@ func main() {
 		fmt.Println("  ", a.Format(p))
 	}
 	if res.Degraded {
-		fmt.Printf("unresolved patterns (%d, phase 3 budget expired; true match within ±ε at confidence 1-δ):\n",
-			len(res.Unresolved))
+		fmt.Printf("unresolved patterns (%d, %s; true match within ±ε at confidence 1-δ):\n",
+			len(res.Unresolved), degradeCause(res))
 		for _, u := range res.Unresolved {
 			fmt.Printf("   %s  sample=%.4f ε=%.4f\n", a.Format(u.Pattern), u.SampleMatch, u.Epsilon)
 		}
 	}
 	finish(metrics, res, *metricsOut)
+}
+
+// degradeCause names what forced the graceful degradation.
+func degradeCause(res *core.Result) string {
+	if res.DegradeReason == core.DegradeShardLost {
+		return "a phase 3 shard became permanently unreachable"
+	}
+	return "phase 3 budget expired"
 }
 
 // finish writes the telemetry snapshot (when collecting) and exits with the

@@ -7,7 +7,9 @@
 //	lspserve -data /var/lib/lspserve [-addr 127.0.0.1:8427] \
 //	         [-worker-slots N] [-max-workers-per-job N] [-queue-cap 64] \
 //	         [-tenant-rate 0] [-tenant-burst 1] [-tenant-max-active 0] \
-//	         [-phase3-timeout 0] [-phase3-shards 0] [-v]
+//	         [-phase3-timeout 0] [-phase3-shards 0] \
+//	         [-auth-token T] [-retain-jobs 0] [-retry-base 10ms] \
+//	         [-retry-cap 1s] [-serve-shards db.lsq] [-v]
 //
 // API (JSON unless noted):
 //
@@ -17,8 +19,18 @@
 //	GET    /v1/jobs/{id}/result result document of a done job
 //	GET    /v1/jobs/{id}/events NDJSON stream of status snapshots
 //	DELETE /v1/jobs/{id}        cancel
+//	POST   /v1/shards/probe     probe-batch RPC (with -serve-shards)
 //	GET    /healthz             liveness (503 while draining)
 //	GET    /metrics             Prometheus text
+//
+// -auth-token requires "Authorization: Bearer <token>" on every /v1 route
+// (health and metrics stay open); rejections carry a machine-readable
+// reason, and a request whose X-LSP-Tenant header contradicts the spec's
+// tenant is refused 403. -retain-jobs compacts the journal at startup,
+// keeping only the newest N terminal jobs. -serve-shards turns the node
+// into a distributed Phase 3 shard worker: it answers probe-batch RPCs
+// over the named database (comma-separated paths open a shard set) beside
+// the jobs API, for lspmine -phase3-nodes coordinators.
 //
 // Every accepted job is journaled crash-atomically under -data before the
 // submit response is sent, running jobs checkpoint their mining progress
@@ -52,6 +64,8 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/seqdb"
+	"repro/internal/shardrpc"
 	"repro/internal/telemetry"
 )
 
@@ -66,6 +80,11 @@ func main() {
 	tenantMaxActive := flag.Int("tenant-max-active", 0, "per-tenant cap on queued+running jobs (0 = unlimited)")
 	phase3Timeout := flag.Duration("phase3-timeout", 0, "default Phase 3 budget for jobs that set none; expiry degrades the job gracefully (0 = unlimited)")
 	phase3Shards := flag.Int("phase3-shards", 0, "default Phase 3 probe-scan shard count for jobs that set none (0/1 = single-pass probes; results identical for every count)")
+	authToken := flag.String("auth-token", "", "require this bearer token on every /v1 route (empty = open; healthz and metrics are always open)")
+	retainJobs := flag.Int("retain-jobs", 0, "compact the journal at startup, keeping only the newest N terminal jobs (0 = keep everything)")
+	retryBase := flag.Duration("retry-base", 0, "base delay of the retrying scanner's full-jitter backoff for jobs that set none (0 = 10ms)")
+	retryCap := flag.Duration("retry-cap", 0, "delay cap of the retrying scanner's backoff for jobs that set none (0 = 1s)")
+	serveShards := flag.String("serve-shards", "", "serve Phase 3 probe-batch RPCs over this database (comma-separated paths open a shard set); empty = jobs API only")
 	streamInterval := flag.Duration("stream-interval", 200*time.Millisecond, "cadence of /events status snapshots")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before giving up on in-flight jobs")
 	verbose := flag.Bool("v", false, "log job lifecycle events")
@@ -88,7 +107,14 @@ func main() {
 		TenantMaxActive:      *tenantMaxActive,
 		DefaultPhase3Timeout: *phase3Timeout,
 		DefaultPhase3Shards:  *phase3Shards,
+		DefaultRetryBase:     *retryBase,
+		DefaultRetryCap:      *retryCap,
+		CompactRetain:        *retainJobs,
 		Registry:             telemetry.NewRegistry(),
+	}
+	if *retryBase < 0 || *retryCap < 0 || (*retryBase > 0 && *retryCap > 0 && *retryCap < *retryBase) {
+		fmt.Fprintln(os.Stderr, "lspserve: -retry-cap must be >= -retry-base, both non-negative")
+		os.Exit(2)
 	}
 	if *verbose {
 		opts.Logf = logger.Printf
@@ -108,9 +134,29 @@ func main() {
 	// Scripts parse this line; keep its shape stable.
 	fmt.Printf("lspserve listening on http://%s\n", ln.Addr())
 
-	srv := &http.Server{
-		Handler: (&jobs.Server{Manager: mgr, StreamInterval: *streamInterval}).Handler(),
+	handler := (&jobs.Server{Manager: mgr, StreamInterval: *streamInterval, AuthToken: *authToken}).Handler()
+	if *serveShards != "" {
+		shards := &shardrpc.Server{
+			Open:      func() (seqdb.Scanner, error) { return openShardDB(*serveShards) },
+			AuthToken: *authToken,
+		}
+		if *verbose {
+			shards.Logf = logger.Printf
+		}
+		// Probe open once up front so a bad path fails at startup, not on
+		// the coordinator's first scatter.
+		if db, err := openShardDB(*serveShards); err != nil {
+			logger.Fatal(err)
+		} else {
+			closeDB(db)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/v1/shards/", shards.Handler())
+		mux.Handle("/", handler)
+		handler = mux
+		logger.Printf("serving Phase 3 shard probes over %s", *serveShards)
 	}
+	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
@@ -144,5 +190,20 @@ func main() {
 	case <-sigc:
 		logger.Print("second signal — exiting immediately")
 		os.Exit(130)
+	}
+}
+
+// openShardDB opens the shard-worker database the way lspmine opens -db:
+// comma-separated paths form a multi-file shard set.
+func openShardDB(path string) (seqdb.Scanner, error) {
+	if paths := seqdb.ShardSetPaths(path); len(paths) > 1 {
+		return seqdb.OpenShardSet(paths)
+	}
+	return seqdb.OpenAuto(path)
+}
+
+func closeDB(db seqdb.Scanner) {
+	if c, ok := db.(interface{ Close() error }); ok {
+		c.Close()
 	}
 }

@@ -165,6 +165,15 @@ type Config struct {
 	// shard/worker count. 0 or 1 keeps the single-pass probe path. Like
 	// Workers, a tuning knob excluded from the checkpoint config hash.
 	Phase3Shards int
+	// ProbeValuer, when non-nil, overrides the Phase 3 probe kernel entirely:
+	// it receives the Phase 3 context, the database (wrapped for telemetry
+	// when Metrics is set), and the compatibility source, and must return a
+	// Valuer whose values are bit-identical to the built-in kernels' for the
+	// same database — it is an execution-layout knob (e.g. a distributed
+	// scatter via miner.RemoteShardValuer), not a semantic one, and like
+	// Workers it is excluded from the checkpoint config hash, so a local run
+	// can resume a remote one and vice versa.
+	ProbeValuer func(ctx context.Context, db seqdb.Scanner, c compat.Source) miner.Valuer
 	// Phase2Kernel selects the sample-scoring kernel for the
 	// candidate-driven Phase 2. Default KernelIncremental. A tuning knob:
 	// classifications agree between kernels, so it is excluded from the
@@ -203,6 +212,9 @@ type Config struct {
 // scans shards directly, not through the telemetry wrapper), so it receives
 // the unwrapped scanner plus the Metrics.
 func (c *Config) probeValuer(ctx context.Context, db seqdb.Scanner, src compat.Source) miner.Valuer {
+	if c.ProbeValuer != nil {
+		return c.ProbeValuer(ctx, db, src)
+	}
 	if sh := c.shardedDB(db); sh != nil {
 		return miner.ShardedMatchDBValuerContext(ctx, sh, src, c.Workers, c.Metrics)
 	}
@@ -330,11 +342,15 @@ type Result struct {
 	// Telemetry aliases Config.Metrics for the run (nil when collection was
 	// disabled); render it with Telemetry.Snapshot().
 	Telemetry *telemetry.Metrics
-	// Degraded reports that the Phase 3 deadline budget expired and the
-	// result was assembled from the work completed: Frequent holds the
-	// Phase 2 frequent set plus every pattern Phase 3 confirmed in time,
-	// and Unresolved annotates the patterns left ambiguous.
+	// Degraded reports that Phase 3 could not finish — its deadline budget
+	// expired, or a distributed probe lost a shard — and the result was
+	// assembled from the work completed: Frequent holds the Phase 2
+	// frequent set plus every pattern Phase 3 confirmed in time, and
+	// Unresolved annotates the patterns left ambiguous.
 	Degraded bool
+	// DegradeReason identifies what degraded the run (DegradePhase3Timeout
+	// or DegradeShardLost; empty for complete runs).
+	DegradeReason string
 	// Unresolved lists the still-ambiguous patterns of a degraded run with
 	// their sample estimates and Chernoff intervals (empty otherwise).
 	Unresolved []Unresolved
@@ -348,6 +364,16 @@ type Result struct {
 	// by this process are Scans - ScansSkipped.
 	ScansSkipped int
 }
+
+// Degradation reasons (machine-readable, kebab-case).
+const (
+	// DegradePhase3Timeout: the Phase 3 wall-clock budget expired.
+	DegradePhase3Timeout = "phase3-timeout"
+	// DegradeShardLost: a distributed probe exhausted every node for some
+	// shard (shardrpc.ErrShardLost); the run is resumable from its final
+	// checkpoint once the shard set is reachable again.
+	DegradeShardLost = "shard-lost"
+)
 
 // Unresolved is an ambiguous pattern a degraded run could not finalize
 // before its Phase 3 deadline. The pattern's true match lies within

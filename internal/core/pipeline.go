@@ -22,6 +22,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/sampling"
 	"repro/internal/seqdb"
+	"repro/internal/shardrpc"
 	"repro/internal/telemetry"
 )
 
@@ -178,9 +179,18 @@ func mineContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cfg Con
 	}
 	cfg.Metrics.PhaseTime(3, time.Since(start))
 	if err != nil {
-		if pctx.Err() != nil && (ctx == nil || ctx.Err() == nil) && errors.Is(err, context.DeadlineExceeded) {
+		callerAlive := ctx == nil || ctx.Err() == nil
+		switch {
+		case callerAlive && pctx.Err() != nil && errors.Is(err, context.DeadlineExceeded):
 			// The Phase 3 budget expired while the caller's context is
 			// still alive: degrade gracefully instead of failing.
+			res.DegradeReason = DegradePhase3Timeout
+			return degrade(res, &cfg, cp, db, p2, st, time.Since(start))
+		case callerAlive && errors.Is(err, shardrpc.ErrShardLost):
+			// A distributed probe exhausted every node for some shard:
+			// surface what Phase 3 confirmed plus the pending intervals and
+			// checkpoint, so the exact run resumes once the shard returns.
+			res.DegradeReason = DegradeShardLost
 			return degrade(res, &cfg, cp, db, p2, st, time.Since(start))
 		}
 		return fail(3, err)

@@ -1,0 +1,135 @@
+package faults
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Network fault injection for the distributed Phase 3 transport: a NetDoer
+// wraps one endpoint's HTTP transport and fires its configured NetFaults at
+// exact request ordinals — the network analogue of the (scan attempt,
+// sequence) coordinates Scanner uses for disk faults. Drop, delay, and flap
+// schedules are all expressible as ordinal windows, so "node 1 refuses
+// requests 2 through 4 then heals" is one deterministic NetFault, and the
+// coordinator's reassignment/retry/hedging behavior is provable in tests
+// without sockets or timing luck.
+
+// Doer mirrors the shard RPC transport interface structurally (the shardrpc
+// client accepts any Doer), so this package injects network faults without
+// importing the transport.
+type Doer interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+// NetKind selects a network fault's failure mode.
+type NetKind int
+
+const (
+	// NetDrop fails the request with a transport-level error (connection
+	// refused/reset), never reaching the wrapped transport.
+	NetDrop NetKind = iota
+	// NetDelay stalls the request before forwarding it, honoring the
+	// request's context — a straggling node, visible to hedging and
+	// per-attempt timeouts.
+	NetDelay
+)
+
+// String names the kind for error messages.
+func (k NetKind) String() string {
+	switch k {
+	case NetDrop:
+		return "drop"
+	case NetDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("NetKind(%d)", int(k))
+	}
+}
+
+// NetFault fires on a window of request ordinals: requests [Req, Req+Count)
+// through this endpoint (1-based, counted across all callers). A finite
+// window is a flap — the endpoint misbehaves and heals; Count -1 is a dead
+// or permanently slow endpoint.
+type NetFault struct {
+	// Req is the 1-based request ordinal the fault starts at.
+	Req int
+	// Count is the window length (0 defaults to 1; -1 = every request from
+	// Req on).
+	Count int
+	// Kind selects the failure mode.
+	Kind NetKind
+	// Delay is the stall for NetDelay faults.
+	Delay time.Duration
+	// Err overrides NetDrop's error (default: a connection-reset error).
+	Err error
+}
+
+func (f NetFault) matches(n int) bool {
+	count := f.Count
+	if count == 0 {
+		count = 1
+	}
+	return n >= f.Req && (count < 0 || n < f.Req+count)
+}
+
+// DropOn drops requests [req, req+count) of an endpoint.
+func DropOn(req, count int) NetFault {
+	return NetFault{Req: req, Count: count, Kind: NetDrop}
+}
+
+// DelayOn stalls requests [req, req+count) of an endpoint by d.
+func DelayOn(req, count int, d time.Duration) NetFault {
+	return NetFault{Req: req, Count: count, Kind: NetDelay, Delay: d}
+}
+
+// NetDoer wraps one endpoint's transport with a deterministic fault
+// schedule. Safe for concurrent use; the ordinal counter is shared across
+// callers, so concurrent scatter workers draw distinct ordinals.
+type NetDoer struct {
+	// Inner is the real transport.
+	Inner Doer
+	// Faults is the schedule; every matching fault fires (delays accumulate,
+	// and a drop wins over forwarding).
+	Faults []NetFault
+
+	mu   sync.Mutex
+	reqs int
+}
+
+// Requests returns the number of requests attempted through this endpoint.
+func (d *NetDoer) Requests() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reqs
+}
+
+// Do applies the schedule to the next request ordinal, then forwards.
+func (d *NetDoer) Do(req *http.Request) (*http.Response, error) {
+	d.mu.Lock()
+	d.reqs++
+	n := d.reqs
+	d.mu.Unlock()
+	for _, f := range d.Faults {
+		if !f.matches(n) {
+			continue
+		}
+		switch f.Kind {
+		case NetDelay:
+			t := time.NewTimer(f.Delay)
+			select {
+			case <-req.Context().Done():
+				t.Stop()
+				return nil, req.Context().Err()
+			case <-t.C:
+			}
+		default:
+			if f.Err != nil {
+				return nil, f.Err
+			}
+			return nil, fmt.Errorf("faults: request %d to %s: connection reset", n, req.URL.Host)
+		}
+	}
+	return d.Inner.Do(req)
+}

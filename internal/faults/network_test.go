@@ -1,0 +1,87 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+type okDoer struct{ calls int }
+
+func (d *okDoer) Do(req *http.Request) (*http.Response, error) {
+	d.calls++
+	return &http.Response{StatusCode: 200, Body: io.NopCloser(strings.NewReader("ok"))}, nil
+}
+
+func netReq(t *testing.T, ctx context.Context) *http.Request {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, "POST", "http://node-000/v1/shards/probe", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+// TestNetDoerDropWindow: DropOn fails exactly the requests inside its
+// ordinal window — a deterministic flap that heals on schedule.
+func TestNetDoerDropWindow(t *testing.T) {
+	inner := &okDoer{}
+	d := &NetDoer{Inner: inner, Faults: []NetFault{DropOn(2, 2)}}
+	want := []bool{true, false, false, true, true}
+	for i, ok := range want {
+		_, err := d.Do(netReq(t, context.Background()))
+		if (err == nil) != ok {
+			t.Fatalf("request %d: err=%v, want ok=%v", i+1, err, ok)
+		}
+	}
+	if inner.calls != 3 {
+		t.Errorf("inner transport saw %d requests, want 3", inner.calls)
+	}
+	if d.Requests() != 5 {
+		t.Errorf("Requests() = %d, want 5", d.Requests())
+	}
+}
+
+// TestNetDoerPermanentDrop: Count -1 never heals, and a custom error is
+// surfaced verbatim.
+func TestNetDoerPermanentDrop(t *testing.T) {
+	boom := errors.New("boom")
+	d := &NetDoer{Inner: &okDoer{}, Faults: []NetFault{{Req: 1, Count: -1, Err: boom}}}
+	for i := 0; i < 3; i++ {
+		if _, err := d.Do(netReq(t, context.Background())); !errors.Is(err, boom) {
+			t.Fatalf("request %d: err=%v, want boom", i+1, err)
+		}
+	}
+}
+
+// TestNetDoerDelayHonorsContext: a delayed request under an already-dead
+// context returns the context error instead of stalling.
+func TestNetDoerDelayHonorsContext(t *testing.T) {
+	d := &NetDoer{Inner: &okDoer{}, Faults: []NetFault{DelayOn(1, -1, time.Hour)}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := d.Do(netReq(t, ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancelled delay stalled")
+	}
+}
+
+// TestNetDoerDelayThenForward: a short delay stalls but still forwards.
+func TestNetDoerDelayThenForward(t *testing.T) {
+	inner := &okDoer{}
+	d := &NetDoer{Inner: inner, Faults: []NetFault{DelayOn(1, 1, time.Millisecond)}}
+	if _, err := d.Do(netReq(t, context.Background())); err != nil {
+		t.Fatal(err)
+	}
+	if inner.calls != 1 {
+		t.Errorf("delayed request not forwarded")
+	}
+}

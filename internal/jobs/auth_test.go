@@ -1,0 +1,228 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/seqdb"
+	"repro/internal/testutil"
+)
+
+func startAuthedServer(t *testing.T, token string) (*Manager, *httptest.Server) {
+	t.Helper()
+	m, err := NewManager(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer((&Server{Manager: m, AuthToken: token}).Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = m.Shutdown(ctx)
+	})
+	return m, srv
+}
+
+func doJSON(t *testing.T, method, url string, body []byte, hdr map[string]string) (*http.Response, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&doc)
+	return resp, doc
+}
+
+// TestServerAuthToken: every /v1 route requires the bearer token when one is
+// configured, rejecting mismatches 401 with the machine-readable reason,
+// while health and metrics stay open for probes and scrapers.
+func TestServerAuthToken(t *testing.T) {
+	_, srv := startAuthedServer(t, "s3cret")
+
+	for _, hdr := range []map[string]string{
+		nil,
+		{"Authorization": "Bearer wrong"},
+		{"Authorization": "s3cret"}, // missing the Bearer prefix
+	} {
+		resp, doc := doJSON(t, "GET", srv.URL+"/v1/jobs", nil, hdr)
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("header %v: status %d, want 401", hdr, resp.StatusCode)
+		}
+		if doc["reason"] != ReasonUnauthorized {
+			t.Fatalf("header %v: reason %v, want %q", hdr, doc["reason"], ReasonUnauthorized)
+		}
+	}
+
+	if resp, _ := doJSON(t, "GET", srv.URL+"/v1/jobs", nil,
+		map[string]string{"Authorization": "Bearer s3cret"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid token: status %d, want 200", resp.StatusCode)
+	}
+	for _, open := range []string{"/healthz", "/metrics"} {
+		if resp, _ := doJSON(t, "GET", srv.URL+open, nil, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s behind auth: status %d, want 200", open, resp.StatusCode)
+		}
+	}
+}
+
+// TestServerTenantHeader: a submission whose X-LSP-Tenant header contradicts
+// the spec's tenant is refused 403 with a machine-readable reason; a header
+// over an empty spec tenant is adopted as the job's tenant.
+func TestServerTenantHeader(t *testing.T) {
+	dbPath, matrixPath := testWorld(t, testutil.Seed(t), 20, 0.2)
+	m, srv := startAuthedServer(t, "")
+
+	spec := testSpec(dbPath, matrixPath)
+	spec.Tenant = "alice"
+	body, _ := json.Marshal(spec)
+	resp, doc := doJSON(t, "POST", srv.URL+"/v1/jobs", body,
+		map[string]string{TenantHeader: "mallory", "Content-Type": "application/json"})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("mismatched tenant header: status %d, want 403", resp.StatusCode)
+	}
+	if doc["reason"] != ReasonTenantMismatch {
+		t.Fatalf("reason %v, want %q", doc["reason"], ReasonTenantMismatch)
+	}
+
+	// A matching header is fine; a header over an anonymous spec is adopted.
+	resp, _ = doJSON(t, "POST", srv.URL+"/v1/jobs", body,
+		map[string]string{TenantHeader: "alice", "Content-Type": "application/json"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("matching tenant header: status %d, want 202", resp.StatusCode)
+	}
+	anon := testSpec(dbPath, matrixPath)
+	body, _ = json.Marshal(anon)
+	resp, doc = doJSON(t, "POST", srv.URL+"/v1/jobs", body,
+		map[string]string{TenantHeader: "alice", "Content-Type": "application/json"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("adopted tenant header: status %d, want 202", resp.StatusCode)
+	}
+	id, _ := doc["id"].(string)
+	st, err := m.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenant != "alice" {
+		t.Fatalf("adopted tenant = %q, want alice", st.Tenant)
+	}
+}
+
+// TestJournalCompactionAtStartup: a manager started with CompactRetain keeps
+// only the newest terminal jobs (records, results, checkpoints), sweeps
+// orphans, never touches live jobs, and reports the size-before/after
+// numbers through Counters and /metrics.
+func TestJournalCompactionAtStartup(t *testing.T) {
+	dir := t.TempDir()
+	jn, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id string, state State, finished int64) {
+		rec := &record{ID: id, State: state, SubmittedMs: finished - 10, FinishedMs: finished,
+			Spec: Spec{DB: "x.lsq", Matrix: "x.compat", MinMatch: 0.5, MaxLen: 2}}
+		if state == StateQueued {
+			rec.FinishedMs = 0
+		}
+		if err := jn.saveRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("old-1", StateDone, 100)
+	mk("old-2", StateFailed, 200)
+	mk("new-1", StateDone, 300)
+	for _, id := range []string{"old-1", "new-1"} {
+		if err := jn.saveResult(id, []byte(`{"schema":"lspserve-result/v1"}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Orphans: result and checkpoint files with no record at all.
+	if err := jn.saveResult("ghost", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jn.checkpointPath("ghost"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := NewManager(Options{Dir: dir, CompactRetain: 1,
+		OpenDB: func(Spec) (seqdb.Scanner, error) { return nil, os.ErrNotExist }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown(context.Background())
+
+	c := m.Counters()
+	if c.CompactedJobs != 2 {
+		t.Errorf("CompactedJobs = %d, want 2", c.CompactedJobs)
+	}
+	if c.CompactBytesAfter >= c.CompactBytesBefore {
+		t.Errorf("journal did not shrink: before %d, after %d", c.CompactBytesBefore, c.CompactBytesAfter)
+	}
+	for _, gone := range []string{jn.recordPath("old-1"), jn.resultPath("old-1"),
+		jn.recordPath("old-2"), jn.resultPath("ghost"), jn.checkpointPath("ghost")} {
+		if _, err := os.Stat(gone); !os.IsNotExist(err) {
+			t.Errorf("%s survived compaction", gone)
+		}
+	}
+	for _, kept := range []string{jn.recordPath("new-1"), jn.resultPath("new-1")} {
+		if _, err := os.Stat(kept); err != nil {
+			t.Errorf("%s did not survive compaction: %v", kept, err)
+		}
+	}
+	if st, err := m.Status("new-1"); err != nil || st.State != StateDone {
+		t.Errorf("retained job unqueryable: %v, %v", st, err)
+	}
+}
+
+// TestSpecRetryKnobs: the journaled spec's backoff overrides are validated
+// and applied to the retrying scanner the job's database is wrapped in.
+func TestSpecRetryKnobs(t *testing.T) {
+	bad := []Spec{
+		{DB: "x", Matrix: "y", MinMatch: 0.5, MaxLen: 2, RetryBaseMillis: -1},
+		{DB: "x", Matrix: "y", MinMatch: 0.5, MaxLen: 2, RetryCapMillis: -1},
+		{DB: "x", Matrix: "y", MinMatch: 0.5, MaxLen: 2, RetryBaseMillis: 100, RetryCapMillis: 50},
+	}
+	for i, spec := range bad {
+		if err := spec.Normalize(); err == nil {
+			t.Errorf("bad spec %d normalized without error", i)
+		}
+	}
+
+	dbPath, _ := testWorld(t, testutil.Seed(t), 10, 0.2)
+	spec := Spec{DB: dbPath, Retries: 2, Seed: 1, RetryBaseMillis: 7, RetryCapMillis: 90}
+	db, err := defaultOpenDB(spec, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, ok := db.(*seqdb.RetryScanner)
+	if !ok {
+		t.Fatalf("retries>0 did not wrap the database: %T", db)
+	}
+	if rs.BaseDelay != 7*time.Millisecond || rs.MaxDelay != 90*time.Millisecond {
+		t.Errorf("spec overrides not applied: base %v cap %v", rs.BaseDelay, rs.MaxDelay)
+	}
+	// Manager defaults apply when the spec sets nothing.
+	spec.RetryBaseMillis, spec.RetryCapMillis = 0, 0
+	db, err = defaultOpenDB(spec, 3*time.Millisecond, 40*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs = db.(*seqdb.RetryScanner)
+	if rs.BaseDelay != 3*time.Millisecond || rs.MaxDelay != 40*time.Millisecond {
+		t.Errorf("manager defaults not applied: base %v cap %v", rs.BaseDelay, rs.MaxDelay)
+	}
+}

@@ -88,6 +88,13 @@ type Spec struct {
 	// none): transient scan failures are re-run with full-jitter capped
 	// backoff instead of failing the job.
 	Retries int `json:"retries,omitempty"`
+	// RetryBaseMillis overrides the retry backoff's base delay in
+	// milliseconds (0 = the manager's default, ultimately 10ms). Only
+	// meaningful with Retries > 0.
+	RetryBaseMillis int64 `json:"retry_base_ms,omitempty"`
+	// RetryCapMillis overrides the retry backoff's delay cap in milliseconds
+	// (0 = the manager's default, ultimately 1000ms).
+	RetryCapMillis int64 `json:"retry_cap_ms,omitempty"`
 	// Phase3TimeoutMillis bounds Phase 3's wall time (0 = the manager's
 	// default). On expiry the job completes degraded — confirmed set plus
 	// Chernoff intervals for the unresolved patterns — rather than failing.
@@ -165,6 +172,15 @@ func (s *Spec) Normalize() error {
 	}
 	if s.Retries < 0 {
 		return fmt.Errorf("jobs: negative spec.retries")
+	}
+	if s.RetryBaseMillis < 0 {
+		return fmt.Errorf("jobs: negative spec.retry_base_ms")
+	}
+	if s.RetryCapMillis < 0 {
+		return fmt.Errorf("jobs: negative spec.retry_cap_ms")
+	}
+	if s.RetryBaseMillis > 0 && s.RetryCapMillis > 0 && s.RetryCapMillis < s.RetryBaseMillis {
+		return fmt.Errorf("jobs: spec.retry_cap_ms %d below spec.retry_base_ms %d", s.RetryCapMillis, s.RetryBaseMillis)
 	}
 	if s.Phase3TimeoutMillis < 0 {
 		return fmt.Errorf("jobs: negative spec.phase3_timeout_ms")

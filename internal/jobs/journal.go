@@ -90,6 +90,99 @@ func (j *journal) hasCheckpoint(id string) bool {
 	return err == nil
 }
 
+// compactStats reports one startup compaction pass.
+type compactStats struct {
+	// RemovedJobs is the number of terminal job records dropped.
+	RemovedJobs int
+	// RemovedFiles counts every file deleted (records, results, checkpoints).
+	RemovedFiles int
+	// BytesBefore/BytesAfter are the journal's total on-disk size around the
+	// pass — the size-before/after metric /metrics exposes.
+	BytesBefore, BytesAfter int64
+}
+
+// compact drops superseded journal entries at startup so a long-lived
+// server's journal stops growing unboundedly: only the newest retain
+// terminal jobs (by finish time) keep their record, result document, and
+// checkpoint; older terminal jobs lose all three. Queued and running jobs
+// are never touched — their records are the replay's input — and neither are
+// files belonging to records that failed to parse (a torn record must not
+// cascade into deleting its result). Orphaned result/checkpoint files whose
+// record is gone entirely are removed too.
+func (j *journal) compact(retain int) (compactStats, []error) {
+	var st compactStats
+	st.BytesBefore = j.diskBytes()
+	recs, errs := j.load()
+	var terminal []*record
+	for _, rec := range recs {
+		if rec.State.Terminal() {
+			terminal = append(terminal, rec)
+		}
+	}
+	sort.Slice(terminal, func(a, b int) bool {
+		if terminal[a].FinishedMs != terminal[b].FinishedMs {
+			return terminal[a].FinishedMs > terminal[b].FinishedMs
+		}
+		return terminal[a].ID > terminal[b].ID
+	})
+	remove := func(path string) {
+		switch err := os.Remove(path); {
+		case err == nil:
+			st.RemovedFiles++
+		case !os.IsNotExist(err):
+			errs = append(errs, fmt.Errorf("jobs: compact: %w", err))
+		}
+	}
+	for _, rec := range terminal[min(retain, len(terminal)):] {
+		st.RemovedJobs++
+		remove(j.recordPath(rec.ID))
+		remove(j.resultPath(rec.ID))
+		remove(j.checkpointPath(rec.ID))
+	}
+	// Orphan sweep: result and checkpoint files are subordinate to their
+	// record file — if it is gone (however that happened), they are dead
+	// weight.
+	orphaned := func(id string) bool {
+		_, err := os.Stat(j.recordPath(id))
+		return os.IsNotExist(err)
+	}
+	if entries, err := os.ReadDir(filepath.Join(j.dir, "jobs")); err == nil {
+		for _, e := range entries {
+			id, ok := strings.CutSuffix(e.Name(), ".result.json")
+			if ok && orphaned(id) {
+				remove(j.resultPath(id))
+			}
+		}
+	}
+	if entries, err := os.ReadDir(filepath.Join(j.dir, "ckpt")); err == nil {
+		for _, e := range entries {
+			id, ok := strings.CutSuffix(e.Name(), ".lckp")
+			if ok && orphaned(id) {
+				remove(j.checkpointPath(id))
+			}
+		}
+	}
+	st.BytesAfter = j.diskBytes()
+	return st, errs
+}
+
+// diskBytes sums the journal's on-disk file sizes.
+func (j *journal) diskBytes() int64 {
+	var n int64
+	for _, sub := range []string{"jobs", "ckpt"} {
+		entries, err := os.ReadDir(filepath.Join(j.dir, sub))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if info, err := e.Info(); err == nil {
+				n += info.Size()
+			}
+		}
+	}
+	return n
+}
+
 // load reads every job record, sorted by submission time then ID — the
 // replay order. Records that fail to parse are skipped with their error
 // reported (one torn or hand-damaged record must not take down the server;

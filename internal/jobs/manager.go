@@ -62,10 +62,24 @@ type Options struct {
 	// database shards for specs that do not set their own (0 or 1 =
 	// single-pass probes). Purely a tuning knob — results are identical.
 	DefaultPhase3Shards int
+	// DefaultRetryBase and DefaultRetryCap shape the retrying scanner's
+	// full-jitter backoff for specs that do not set their own retry_base_ms
+	// / retry_cap_ms (defaults: seqdb.RetryScanner's 10ms base, 1s cap).
+	// lspserve exposes them as -retry-base / -retry-cap — the same knobs a
+	// coordinator reuses for shard RPC retries.
+	DefaultRetryBase time.Duration
+	DefaultRetryCap  time.Duration
+	// CompactRetain, when > 0, compacts the journal at startup: only the
+	// newest CompactRetain terminal jobs keep their records and results
+	// (running and queued jobs are always kept), so a long-lived server's
+	// journal stops growing unboundedly. 0 disables compaction. The pass's
+	// size-before/after shows up in Counters and /metrics.
+	CompactRetain int
 	// OpenDB opens a job's database scanner (default: seqdb.OpenAuto,
-	// wrapped in a jittered RetryScanner when spec.Retries > 0). Each job
-	// gets its own scanner — Scanner implementations are not safe for
-	// concurrent scans. Injectable for fault-injection tests.
+	// wrapped in a jittered RetryScanner when spec.Retries > 0, with backoff
+	// shaped by the spec's retry_base_ms/retry_cap_ms or the manager's
+	// defaults). Each job gets its own scanner — Scanner implementations are
+	// not safe for concurrent scans. Injectable for fault-injection tests.
 	OpenDB func(Spec) (seqdb.Scanner, error)
 	// OpenMatrix opens a job's compatibility source (default: read
 	// spec.Matrix as a text matrix).
@@ -106,22 +120,33 @@ func (o *Options) setDefaults() {
 		o.Now = time.Now
 	}
 	if o.OpenDB == nil {
-		o.OpenDB = defaultOpenDB
+		base, capDelay := o.DefaultRetryBase, o.DefaultRetryCap
+		o.OpenDB = func(spec Spec) (seqdb.Scanner, error) {
+			return defaultOpenDB(spec, base, capDelay)
+		}
 	}
 	if o.OpenMatrix == nil {
 		o.OpenMatrix = defaultOpenMatrix
 	}
 }
 
-func defaultOpenDB(spec Spec) (seqdb.Scanner, error) {
+func defaultOpenDB(spec Spec, base, capDelay time.Duration) (seqdb.Scanner, error) {
 	db, err := seqdb.OpenAuto(spec.DB)
 	if err != nil {
 		return nil, err
 	}
 	if spec.Retries > 0 {
+		if spec.RetryBaseMillis > 0 {
+			base = time.Duration(spec.RetryBaseMillis) * time.Millisecond
+		}
+		if spec.RetryCapMillis > 0 {
+			capDelay = time.Duration(spec.RetryCapMillis) * time.Millisecond
+		}
 		return &seqdb.RetryScanner{
 			Inner:      db,
 			MaxRetries: spec.Retries,
+			BaseDelay:  base,
+			MaxDelay:   capDelay,
 			Jitter:     mrand.New(mrand.NewSource(spec.Seed)),
 		}, nil
 	}
@@ -166,6 +191,9 @@ type Counters struct {
 	Failed              int64 `json:"failed"`
 	Canceled            int64 `json:"canceled"`
 	Replayed            int64 `json:"replayed"`
+	CompactedJobs       int64 `json:"compacted_jobs,omitempty"`
+	CompactBytesBefore  int64 `json:"compact_bytes_before,omitempty"`
+	CompactBytesAfter   int64 `json:"compact_bytes_after,omitempty"`
 	Queued              int   `json:"queued"`
 	Running             int   `json:"running"`
 	WorkerSlots         int   `json:"worker_slots"`
@@ -198,8 +226,9 @@ type Manager struct {
 	schedDone chan struct{}
 	wg        sync.WaitGroup
 
-	nonce string
-	seq   atomic.Int64
+	nonce   string
+	seq     atomic.Int64
+	compact compactStats
 
 	accepted, rejQueue, rejRate, rejTenant atomic.Int64
 	completed, degraded, failed, canceled  atomic.Int64
@@ -238,6 +267,17 @@ func NewManager(opts Options) (*Manager, error) {
 		wake:      make(chan struct{}, 1),
 		schedDone: make(chan struct{}),
 		nonce:     hex.EncodeToString(nonce[:]),
+	}
+	if opts.CompactRetain > 0 {
+		st, cerrs := jn.compact(opts.CompactRetain)
+		for _, e := range cerrs {
+			m.logf("journal compact: %v", e)
+		}
+		if st.RemovedFiles > 0 {
+			m.logf("journal compact: dropped %d terminal jobs (%d files), %d -> %d bytes",
+				st.RemovedJobs, st.RemovedFiles, st.BytesBefore, st.BytesAfter)
+		}
+		m.compact = st
 	}
 	recs, errs := jn.load()
 	for _, e := range errs {
@@ -810,6 +850,9 @@ func (m *Manager) Counters() Counters {
 		Failed:              m.failed.Load(),
 		Canceled:            m.canceled.Load(),
 		Replayed:            m.replayed.Load(),
+		CompactedJobs:       int64(m.compact.RemovedJobs),
+		CompactBytesBefore:  m.compact.BytesBefore,
+		CompactBytesAfter:   m.compact.BytesAfter,
 		Queued:              queued,
 		Running:             int(m.runningCount.Load()),
 		WorkerSlots:         m.opts.WorkerSlots,

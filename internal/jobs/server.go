@@ -1,6 +1,7 @@
 package jobs
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,21 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+)
+
+// TenantHeader is the authenticated-tenant header the deployment's front
+// door (or the bearer-token holder) sets. When present it is authoritative:
+// a spec naming a different tenant is rejected, and a spec naming none
+// adopts it — the spec's tenant field is never trusted over it.
+const TenantHeader = "X-LSP-Tenant"
+
+// Authentication rejection reasons (machine-readable, kebab-case like the
+// admission reasons).
+const (
+	// ReasonUnauthorized: missing or wrong bearer token (401).
+	ReasonUnauthorized = "unauthorized"
+	// ReasonTenantMismatch: the spec's tenant contradicts TenantHeader (403).
+	ReasonTenantMismatch = "tenant-mismatch"
 )
 
 // Server is the HTTP/JSON face of a Manager. Mount via Handler:
@@ -31,6 +47,10 @@ type Server struct {
 	Manager *Manager
 	// StreamInterval paces /events snapshots (default 200ms).
 	StreamInterval time.Duration
+	// AuthToken, when non-empty, requires "Authorization: Bearer <token>" on
+	// every /v1/* route (compared in constant time); /healthz stays open for
+	// unauthenticated liveness probes and /metrics for scrapers.
+	AuthToken string
 }
 
 // NewServer wraps a manager with the default streaming cadence.
@@ -39,21 +59,40 @@ func NewServer(m *Manager) *Server { return &Server{Manager: m} }
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/jobs", s.auth(s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.auth(s.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.auth(s.handleStatus))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.auth(s.handleResult))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.auth(s.handleEvents))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.auth(s.handleCancel))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
+// auth gates a /v1 handler behind the bearer token when one is configured.
+func (s *Server) auth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.AuthToken != "" {
+			want := "Bearer " + s.AuthToken
+			got := r.Header.Get("Authorization")
+			if subtle.ConstantTimeCompare([]byte(got), []byte(want)) != 1 {
+				writeJSON(w, http.StatusUnauthorized, errorBody{
+					Error:  "missing or invalid bearer token",
+					Reason: ReasonUnauthorized,
+				})
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
 // errorBody is the JSON error envelope.
 type errorBody struct {
 	Error string `json:"error"`
-	// Reason carries the admission-rejection class on 429 responses.
+	// Reason carries the machine-readable rejection class: an admission
+	// reason on 429, an authentication reason on 401/403.
 	Reason string `json:"reason,omitempty"`
 	// RetryAfterSeconds mirrors the Retry-After header for JSON-only clients.
 	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
@@ -80,6 +119,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
+	}
+	if hdr := r.Header.Get(TenantHeader); hdr != "" {
+		switch spec.Tenant {
+		case "", hdr:
+			spec.Tenant = hdr
+		default:
+			writeJSON(w, http.StatusForbidden, errorBody{
+				Error:  fmt.Sprintf("spec tenant %q does not match authenticated tenant %q", spec.Tenant, hdr),
+				Reason: ReasonTenantMismatch,
+			})
+			return
+		}
 	}
 	st, err := s.Manager.Submit(spec)
 	if err != nil {
@@ -222,6 +273,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP lspserve_jobs_replayed_total Jobs resumed from the journal after a restart.\n")
 	p("# TYPE lspserve_jobs_replayed_total counter\n")
 	p("lspserve_jobs_replayed_total %d\n", c.Replayed)
+	p("# HELP lspserve_journal_compacted_jobs_total Terminal job records dropped by startup compaction.\n")
+	p("# TYPE lspserve_journal_compacted_jobs_total counter\n")
+	p("lspserve_journal_compacted_jobs_total %d\n", c.CompactedJobs)
+	p("# HELP lspserve_journal_compact_bytes Journal on-disk size around startup compaction.\n")
+	p("# TYPE lspserve_journal_compact_bytes gauge\n")
+	p("lspserve_journal_compact_bytes{when=\"before\"} %d\n", c.CompactBytesBefore)
+	p("lspserve_journal_compact_bytes{when=\"after\"} %d\n", c.CompactBytesAfter)
 	p("# HELP lspserve_jobs_queued Jobs waiting for a worker slot.\n")
 	p("# TYPE lspserve_jobs_queued gauge\n")
 	p("lspserve_jobs_queued %d\n", c.Queued)

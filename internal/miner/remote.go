@@ -1,0 +1,111 @@
+package miner
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/compat"
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+	"repro/internal/shardrpc"
+	"repro/internal/telemetry"
+)
+
+// RemoteShardValuer is ShardedMatchDBValuer with the shard scans pushed over
+// the network: each probe batch is scattered to the pool's nodes — one RPC
+// per shard of sh's layout — and the returned per-block (sums, count)
+// partials are gathered with the same ascending-order merge as the local
+// path. sh supplies only the layout (shard count, block size, total); its
+// sequences are never read by the coordinator.
+//
+// Determinism: remote partials are computed by the identical
+// structure-of-arrays kernel over the identical probe blocks, and Go's JSON
+// float64 encoding round-trips bit-exactly, so the gathered values are
+// bit-identical to the single-machine path's no matter which node served
+// which shard, how often shards were reassigned, or which hedge won.
+// Failure handling — reassignment, backoff, hedging, shard loss — lives in
+// the Pool; a shard no node can serve surfaces as an error wrapping
+// shardrpc.ErrShardLost, which the pipeline degrades on gracefully.
+func RemoteShardValuer(sh *seqdb.Sharded, pool *shardrpc.Pool, c compat.Source, workers int) Valuer {
+	return RemoteShardValuerContext(nil, sh, pool, c, workers, nil)
+}
+
+// RemoteShardValuerContext is RemoteShardValuer with cancellation and
+// telemetry. workers bounds the concurrently in-flight shard RPCs (<= 0
+// scatters all shards at once — probes are network-bound, not CPU-bound, on
+// the coordinator). Byte telemetry is estimated: the bytes were read on the
+// workers.
+func RemoteShardValuerContext(ctx context.Context, sh *seqdb.Sharded, pool *shardrpc.Pool, c compat.Source, workers int, m *telemetry.Metrics) Valuer {
+	return func(ps []pattern.Pattern) ([]float64, error) {
+		if len(ps) == 0 {
+			return nil, nil
+		}
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		shards := sh.NumShards()
+		base := shardrpc.NewProbeRequest(c, ps, sh.Len(), shards, sh.BlockSize())
+		conc := workers
+		if conc <= 0 || conc > shards {
+			conc = shards
+		}
+
+		start := time.Now()
+		results := make([]*shardrpc.ProbeResponse, shards)
+		errs := make([]error, shards)
+		next := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(conc)
+		for w := 0; w < conc; w++ {
+			go func() {
+				defer wg.Done()
+				for s := range next {
+					req := *base
+					req.Shard = s
+					results[s], errs[s] = pool.Probe(ctx, &req)
+				}
+			}()
+		}
+		for s := 0; s < shards; s++ {
+			next <- s
+		}
+		close(next)
+		wg.Wait()
+		// First error in shard order, so the reported failure is
+		// deterministic even when several shards fail at once.
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		// Gather: fold block sums in ascending global id order — shards are
+		// contiguous ascending ranges, so shard order is block order.
+		sums := make([]float64, len(ps))
+		n := 0
+		var symbols int64
+		for s, r := range results {
+			for _, b := range r.Blocks {
+				if len(b.Sums) != len(ps) {
+					return nil, fmt.Errorf("miner: shard %d returned %d sums for a %d-pattern batch", s, len(b.Sums), len(ps))
+				}
+				for i, v := range b.Sums {
+					sums[i] += v
+				}
+				n += b.N
+			}
+			symbols += r.Symbols
+		}
+		if n > 0 {
+			for i := range sums {
+				sums[i] /= float64(n)
+			}
+		}
+		sh.NotePass()
+		m.ScanDone(4*symbols, true)
+		m.ShardScan(time.Since(start), int64(n), -1)
+		return sums, nil
+	}
+}

@@ -1,0 +1,123 @@
+package miner
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/seqdb"
+	"repro/internal/shardrpc"
+	"repro/internal/telemetry"
+)
+
+func remoteHarness(db *seqdb.MemDB, nodes int) *shardrpc.Harness {
+	return shardrpc.NewHarness(nodes, "", func() (seqdb.Scanner, error) { return db, nil })
+}
+
+func instantPool(h *shardrpc.Harness) *shardrpc.Pool {
+	p := h.Pool(shardrpc.RetryPolicy{Base: time.Microsecond})
+	p.Sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+	return p
+}
+
+// TestRemoteValuerBitIdentical: the remote scatter-gather valuer must return
+// the same bits as the local one for every node count, shard count, and
+// worker count — distribution is purely an execution layout.
+func TestRemoteValuerBitIdentical(t *testing.T) {
+	db, c, ps := randomWorkload(t, 21, 300, 12)
+	for _, shards := range []int{1, 3, 7} {
+		sh := seqdb.ShardScanner(db, shards)
+		want, err := ShardedMatchDBValuer(sh, c, 0)(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nodes := range []int{1, 2, 5} {
+			for _, workers := range []int{0, 2} {
+				pool := instantPool(remoteHarness(db, nodes))
+				got, err := RemoteShardValuer(seqdb.ShardScanner(db, shards), pool, c, workers)(ps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range ps {
+					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+						t.Fatalf("shards=%d nodes=%d workers=%d pattern %d: remote %v != local %v",
+							shards, nodes, workers, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRemoteValuerNodeDiesMidGather: a node that answers its first probe and
+// then drops every later one forces reassignment mid-batch; the gathered
+// values must still be bit-identical to the local path.
+func TestRemoteValuerNodeDiesMidGather(t *testing.T) {
+	db, c, ps := randomWorkload(t, 22, 400, 12)
+	sh := seqdb.ShardScanner(db, 5)
+	want, err := ShardedMatchDBValuer(sh, c, 0)(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h := remoteHarness(db, 3)
+	dying := &faults.NetDoer{Inner: h.Doer(0), Faults: []faults.NetFault{faults.DropOn(2, -1)}}
+	m := &telemetry.Metrics{}
+	pool := &shardrpc.Pool{
+		Clients: []*shardrpc.Client{h.Client(0, dying), h.Client(1, h.Doer(1)), h.Client(2, h.Doer(2))},
+		Retry:   shardrpc.RetryPolicy{Base: time.Microsecond},
+		Metrics: m,
+		Sleep:   func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+	}
+	got, err := RemoteShardValuerContext(context.Background(), seqdb.ShardScanner(db, 5), pool, c, 2, m)(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ps {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("pattern %d: %v != %v after node death", i, got[i], want[i])
+		}
+	}
+	snap := m.Snapshot()
+	if snap.RemoteRetries == 0 && snap.RemoteReassigned == 0 {
+		t.Errorf("node died mid-gather but no retries or reassignments recorded")
+	}
+}
+
+// TestRemoteValuerShardLost: with every node dead the valuer must surface
+// an error wrapping ErrShardLost for the pipeline to degrade on.
+func TestRemoteValuerShardLost(t *testing.T) {
+	db, c, ps := randomWorkload(t, 23, 100, 8)
+	h := remoteHarness(db, 2)
+	h.KillAll()
+	pool := instantPool(h)
+	pool.Retry.MaxAttempts = 2
+	_, err := RemoteShardValuer(seqdb.ShardScanner(db, 3), pool, c, 0)(ps)
+	if !errors.Is(err, shardrpc.ErrShardLost) {
+		t.Fatalf("got %v, want ErrShardLost", err)
+	}
+}
+
+// TestRemoteValuerScanAccounting: one remote gather = one logical pass on
+// the coordinator's Sharded view; an empty batch costs nothing.
+func TestRemoteValuerScanAccounting(t *testing.T) {
+	db, c, ps := randomWorkload(t, 24, 120, 8)
+	sh := seqdb.ShardScanner(db, 3)
+	pool := instantPool(remoteHarness(db, 2))
+	v := RemoteShardValuer(sh, pool, c, 0)
+	if out, err := v(nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+	if sh.Scans() != 0 {
+		t.Fatalf("empty batch consumed %d logical passes", sh.Scans())
+	}
+	if _, err := v(ps); err != nil {
+		t.Fatal(err)
+	}
+	if sh.Scans() != 1 {
+		t.Errorf("Sharded.Scans=%d after one probe batch, want 1", sh.Scans())
+	}
+}

@@ -8,6 +8,7 @@ package oracle
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/miner"
 	"repro/internal/pattern"
 	"repro/internal/seqdb"
+	"repro/internal/shardrpc"
 	"repro/internal/support"
 )
 
@@ -254,6 +256,45 @@ func MineEngineSharded(fin core.Finalizer, kernel core.Phase2Kernel, workers, sh
 	}}
 }
 
+// RemoteShardEngine is MineEngineSharded with the probe scans served by
+// remote shard workers over the in-process RPC harness: nodes servers each
+// opening the case's full database, the coordinator pool scattering the
+// shards across them over the wire (matrix and patterns marshaled to JSON,
+// per-block partial sums marshaled back). Distribution is purely an
+// execution layout — the frequent set must equal every other engine's,
+// which also pins the protocol's float64 round-trip to bit-exactness.
+func RemoteShardEngine(fin core.Finalizer, kernel core.Phase2Kernel, nodes, shards int) Engine {
+	name := fmt.Sprintf("core.Mine/%s/%s/remote nodes=%d shards=%d", fin, kernel, nodes, shards)
+	return Engine{Name: name, Ref: RefMatch, Mine: func(cs *Case) (*pattern.Set, error) {
+		h := shardrpc.NewHarness(nodes, "battery-token", func() (seqdb.Scanner, error) {
+			return seqdb.NewMemDB(cs.DB), nil
+		})
+		pool := h.Pool(shardrpc.RetryPolicy{})
+		cfg := core.Config{
+			MinMatch:     cs.MinMatch,
+			Delta:        cs.Delta,
+			SampleSize:   len(cs.DB),
+			MaxLen:       cs.MaxLen,
+			MaxGap:       cs.MaxGap,
+			MemBudget:    cs.MemBudget,
+			Finalizer:    fin,
+			Phase2Kernel: kernel,
+			Rng:          caseRng(cs),
+			ProbeValuer: func(ctx context.Context, db seqdb.Scanner, c compat.Source) miner.Valuer {
+				return miner.RemoteShardValuerContext(ctx, seqdb.ShardedView(db, shards), pool, c, 0, nil)
+			},
+		}
+		res, err := core.Mine(seqdb.NewMemDB(cs.DB), cs.C, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if fin == core.BorderCollapsingImplicit {
+			return implicitInSpace(cs, res.Frequent)
+		}
+		return res.Frequent, nil
+	}}
+}
+
 // implicitInSpace checks that every member of the implicit finalizer's
 // closure is genuinely frequent per the oracle, then restricts the set to
 // the case's gap-bounded space so it is comparable to the other engines.
@@ -317,9 +358,9 @@ func SupportExhaustiveEngine() Engine {
 }
 
 // Battery returns the standard cross-check battery: the full pipeline under
-// both Phase 2 kernels, several worker counts, and sharded Phase 3 probe
-// scans, all three resolving finalizers, the exhaustive miner, Max-Miner,
-// and both support miners.
+// both Phase 2 kernels, several worker counts, sharded and remote-worker
+// Phase 3 probe scans, all three resolving finalizers, the exhaustive
+// miner, Max-Miner, and both support miners.
 func Battery() []Engine {
 	return []Engine{
 		MineEngine(core.BorderCollapsing, core.KernelIncremental, 0),
@@ -330,6 +371,7 @@ func Battery() []Engine {
 		MineEngineSharded(core.BorderCollapsing, core.KernelIncremental, 0, 4),
 		MineEngineSharded(core.BorderCollapsing, core.KernelIncremental, 2, 3),
 		MineEngineSharded(core.BorderCollapsingImplicit, core.KernelIncremental, 0, 2),
+		RemoteShardEngine(core.BorderCollapsing, core.KernelIncremental, 2, 3),
 		ExhaustiveEngine(),
 		MaxMinerEngine(),
 		SupportSweepEngine(),

@@ -1,0 +1,119 @@
+package seqdb
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+func rangeTestDB(t *testing.T, n int) (*MemDB, [][]pattern.Symbol) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	seqs := make([][]pattern.Symbol, n)
+	for i := range seqs {
+		s := make([]pattern.Symbol, 3+rng.Intn(6))
+		for j := range s {
+			s[j] = pattern.Symbol(rng.Intn(5))
+		}
+		seqs[i] = s
+	}
+	return NewMemDB(seqs), seqs
+}
+
+func collectRange(t *testing.T, rs RangeScanner, lo, hi int) map[int]int {
+	t.Helper()
+	got := map[int]int{}
+	err := rs.ScanRangeContext(context.Background(), lo, hi, func(id int, seq []pattern.Symbol) error {
+		got[id] = len(seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestShardedScanRange: a Sharded's range scan must deliver exactly the
+// global ids in [lo, hi) — including ranges that straddle shard boundaries,
+// clamp past the ends, or are empty — without counting logical passes.
+func TestShardedScanRange(t *testing.T) {
+	db, seqs := rangeTestDB(t, 70)
+	sh := ShardScanner(db, 3)
+	for _, r := range [][2]int{{0, 70}, {0, 1}, {15, 17}, {10, 50}, {64, 70}, {-5, 200}, {40, 40}, {30, 10}} {
+		got := collectRange(t, sh, r[0], r[1])
+		lo, hi := r[0], r[1]
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(seqs) {
+			hi = len(seqs)
+		}
+		want := 0
+		if hi > lo {
+			want = hi - lo
+		}
+		if len(got) != want {
+			t.Fatalf("range [%d,%d): delivered %d ids, want %d", r[0], r[1], len(got), want)
+		}
+		for id, l := range got {
+			if id < lo || id >= hi {
+				t.Fatalf("range [%d,%d): id %d out of range", r[0], r[1], id)
+			}
+			if l != len(seqs[id]) {
+				t.Fatalf("id %d: wrong sequence delivered", id)
+			}
+		}
+	}
+	if sh.Scans() != 0 {
+		t.Errorf("range scans counted %d logical passes, want 0", sh.Scans())
+	}
+}
+
+// TestShardSetScanRange: a native multi-file shard set serves global-id
+// ranges identically to the in-memory view (the offsetScanner translation).
+func TestShardSetScanRange(t *testing.T) {
+	db, seqs := rangeTestDB(t, 60)
+	paths, err := WriteShardFiles(db, filepath.Join(t.TempDir(), "db"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := OpenShardSet(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int{{0, 60}, {18, 43}, {59, 60}} {
+		got := collectRange(t, set, r[0], r[1])
+		if len(got) != r[1]-r[0] {
+			t.Fatalf("range %v: %d ids, want %d", r, len(got), r[1]-r[0])
+		}
+		for id, l := range got {
+			if l != len(seqs[id]) {
+				t.Fatalf("id %d: wrong sequence", id)
+			}
+		}
+	}
+}
+
+// TestShardedViewResolution: ShardedView must unwrap to an existing shard
+// set rather than nesting views, and cut fresh views over plain scanners.
+func TestShardedViewResolution(t *testing.T) {
+	db, _ := rangeTestDB(t, 40)
+
+	v := ShardedView(db, 3)
+	if v.NumShards() < 1 || v.Len() != 40 {
+		t.Fatalf("view over MemDB: shards=%d len=%d", v.NumShards(), v.Len())
+	}
+
+	// An existing Sharded is returned as-is, even under a wrapper.
+	sh := ShardScanner(db, 2)
+	if got := ShardedView(sh, 5); got != sh {
+		t.Errorf("ShardedView re-cut an existing shard set")
+	}
+	wrapped := &RetryScanner{Inner: sh, MaxRetries: 1}
+	if got := ShardedView(wrapped, 5); got != sh {
+		t.Errorf("ShardedView did not unwrap to the existing shard set")
+	}
+}

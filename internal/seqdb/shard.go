@@ -164,6 +164,19 @@ func (v *rangeView) ScanPassContext(ctx context.Context, setup PassFunc) error {
 	return err
 }
 
+// ScanRangeContext implements RangeScanner: the view's global id range
+// intersected with [lo, hi), delegated to the parent. A partial delivery, so
+// it never counts as a pass of the view or the parent.
+func (v *rangeView) ScanRangeContext(ctx context.Context, lo, hi int, fn func(id int, seq []pattern.Symbol) error) error {
+	if lo < v.lo {
+		lo = v.lo
+	}
+	if hi > v.hi {
+		hi = v.hi
+	}
+	return scanRangeOnce(ctx, v.parent, lo, hi, fn)
+}
+
 // offsetScanner shifts a native shard file's local ids into the global id
 // space of its shard set.
 type offsetScanner struct {
@@ -209,6 +222,12 @@ func (o *offsetScanner) ScanPassContext(ctx context.Context, setup PassFunc) err
 		}
 		return o.shift(fn), nil
 	})
+}
+
+// ScanRangeContext implements RangeScanner in the global id space: the
+// request is translated back into the wrapped store's local ids.
+func (o *offsetScanner) ScanRangeContext(ctx context.Context, lo, hi int, fn func(id int, seq []pattern.Symbol) error) error {
+	return scanRangeOnce(ctx, o.inner, lo-o.off, hi-o.off, o.shift(fn))
 }
 
 // byteReader mirrors the telemetry layer's real-I/O interface without
@@ -423,6 +442,64 @@ func (s *Sharded) ScanContext(ctx context.Context, fn func(id int, seq []pattern
 	}
 	s.scans.Add(1)
 	return nil
+}
+
+// ScanRangeContext implements RangeScanner: the global id range [lo, hi)
+// delivered by the covering shards only, so a range probe over a native
+// multi-file shard set touches just the files that intersect it. A partial
+// delivery — it never counts as a logical pass.
+func (s *Sharded) ScanRangeContext(ctx context.Context, lo, hi int, fn func(id int, seq []pattern.Symbol) error) error {
+	if lo < 0 {
+		lo = 0
+	}
+	if n := s.Len(); hi > n {
+		hi = n
+	}
+	for i, sh := range s.shards {
+		slo, shi := s.starts[i], s.starts[i+1]
+		if slo < lo {
+			slo = lo
+		}
+		if shi > hi {
+			shi = hi
+		}
+		if slo >= shi {
+			continue
+		}
+		if err := scanRangeOnce(ctx, sh, slo, shi, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardedView resolves db to the *Sharded the scatter-gather probe layers
+// scan: db's own shard set when the scanner (unwrapped through any Unwrap
+// chain, e.g. telemetry) already is a *Sharded, otherwise an n-way
+// block-aligned view over it (ShardScanner). Mining either yields
+// bit-identical probe sums — the view exists so single-file databases can
+// join the same scatter protocol as native shard sets.
+func ShardedView(db Scanner, n int) *Sharded {
+	raw := db
+	for {
+		if rs, ok := raw.(*RetryScanner); ok {
+			// The retry layer is a scanning concern; layout resolution (and
+			// the remote probe path, which never scans locally) sees through
+			// it. Local probe scanning keeps its own retry wrapping — see
+			// core.Config.shardedDB, which deliberately stops here.
+			raw = rs.Inner
+			continue
+		}
+		u, ok := raw.(interface{ Unwrap() Scanner })
+		if !ok {
+			break
+		}
+		raw = u.Unwrap()
+	}
+	if sh, ok := raw.(*Sharded); ok {
+		return sh
+	}
+	return ShardScanner(raw, n)
 }
 
 // RealBytes returns db's real-I/O byte counter when it has a trustworthy

@@ -1,0 +1,84 @@
+package shardrpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Doer issues one HTTP request — *http.Client for real nodes, an in-process
+// handler adapter in tests and the verification harness (see Harness), and
+// faults.NetDoer for injected network failures.
+type Doer interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+// Client speaks the probe protocol to one node.
+type Client struct {
+	// BaseURL is the node's root, e.g. "http://10.0.0.7:8080".
+	BaseURL string
+	// AuthToken, when non-empty, is sent as a bearer token.
+	AuthToken string
+	// HTTP issues the requests (default http.DefaultClient).
+	HTTP Doer
+}
+
+// Addr names the node for stats and logs.
+func (c *Client) Addr() string { return c.BaseURL }
+
+// Probe sends one shard probe and decodes the partials. Non-2xx responses
+// come back as *StatusError carrying the node's machine-readable reason;
+// transport failures come back as-is (both classified by IsNodeFailure).
+func (c *Client) Probe(ctx context.Context, req *ProbeRequest) (*ProbeResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("shardrpc: marshal: %w", err)
+	}
+	url := strings.TrimRight(c.BaseURL, "/") + "/v1/shards/probe"
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("shardrpc: request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if c.AuthToken != "" {
+		hreq.Header.Set("Authorization", "Bearer "+c.AuthToken)
+	}
+	doer := c.HTTP
+	if doer == nil {
+		doer = http.DefaultClient
+	}
+	hresp, err := doer.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(hresp.Body, 1<<16))
+		hresp.Body.Close()
+	}()
+	if hresp.StatusCode != http.StatusOK {
+		se := &StatusError{Code: hresp.StatusCode}
+		var eb struct {
+			Error  string `json:"error"`
+			Reason string `json:"reason"`
+		}
+		raw, _ := io.ReadAll(io.LimitReader(hresp.Body, 4<<10))
+		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+			se.Reason, se.Msg = eb.Reason, eb.Error
+		} else {
+			se.Msg = strings.TrimSpace(string(raw))
+		}
+		return nil, se
+	}
+	var resp ProbeResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("shardrpc: decode response: %w", err)
+	}
+	if resp.Schema != ProbeSchema {
+		return nil, fmt.Errorf("shardrpc: response schema %q, want %q", resp.Schema, ProbeSchema)
+	}
+	return &resp, nil
+}

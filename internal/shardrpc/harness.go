@@ -1,0 +1,109 @@
+package shardrpc
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+
+	"repro/internal/seqdb"
+)
+
+// Harness is an in-process multi-node cluster: n Servers over one shard set,
+// reachable through Doers that execute the node handler directly (no
+// sockets), with per-node kill switches. Tests and the verification
+// battery's remote-shard engine use it to drive the full coordinator path —
+// scatter, reassignment, hedging, loss — deterministically and fast.
+type Harness struct {
+	servers []*Server
+	doers   []*nodeDoer
+	token   string
+}
+
+// NewHarness builds an n-node cluster whose nodes all open the database via
+// open (called once per probe; return a fresh cheap view over shared data).
+// token, when non-empty, enables bearer auth on every node.
+func NewHarness(n int, token string, open func() (seqdb.Scanner, error)) *Harness {
+	h := &Harness{token: token}
+	for i := 0; i < n; i++ {
+		srv := &Server{Open: open, AuthToken: token}
+		h.servers = append(h.servers, srv)
+		h.doers = append(h.doers, &nodeDoer{handler: srv.Handler()})
+	}
+	return h
+}
+
+// Len returns the node count.
+func (h *Harness) Len() int { return len(h.servers) }
+
+// Server returns node i's Server (e.g. to attach Metrics).
+func (h *Harness) Server(i int) *Server { return h.servers[i] }
+
+// Doer returns node i's transport, for wrapping (faults.NetDoer) before
+// building a Pool with Clients.
+func (h *Harness) Doer(i int) Doer { return h.doers[i] }
+
+// Kill makes node i refuse every subsequent request, like a SIGKILLed
+// process behind a closed socket.
+func (h *Harness) Kill(i int) { h.doers[i].setDead(true) }
+
+// Revive brings node i back.
+func (h *Harness) Revive(i int) { h.doers[i].setDead(false) }
+
+// KillAll downs every node.
+func (h *Harness) KillAll() {
+	for i := range h.doers {
+		h.Kill(i)
+	}
+}
+
+// ReviveAll restores every node.
+func (h *Harness) ReviveAll() {
+	for i := range h.doers {
+		h.Revive(i)
+	}
+}
+
+// Client returns a client for node i over the given transport (pass
+// h.Doer(i), possibly wrapped in a fault injector).
+func (h *Harness) Client(i int, d Doer) *Client {
+	return &Client{BaseURL: fmt.Sprintf("http://node-%03d", i), AuthToken: h.token, HTTP: d}
+}
+
+// Pool builds a coordinator pool over all nodes with the given retry policy.
+func (h *Harness) Pool(retry RetryPolicy) *Pool {
+	clients := make([]*Client, len(h.doers))
+	for i := range clients {
+		clients[i] = h.Client(i, h.doers[i])
+	}
+	return &Pool{Clients: clients, Retry: retry}
+}
+
+// nodeDoer executes the node's handler in-process; dead nodes refuse the
+// connection like a killed host.
+type nodeDoer struct {
+	handler http.Handler
+	mu      sync.Mutex
+	dead    bool
+}
+
+func (d *nodeDoer) setDead(dead bool) {
+	d.mu.Lock()
+	d.dead = dead
+	d.mu.Unlock()
+}
+
+func (d *nodeDoer) Do(req *http.Request) (*http.Response, error) {
+	d.mu.Lock()
+	dead := d.dead
+	d.mu.Unlock()
+	if dead {
+		return nil, fmt.Errorf("shardrpc: dial %s: connection refused", req.URL.Host)
+	}
+	if err := req.Context().Err(); err != nil {
+		return nil, err
+	}
+	rec := httptest.NewRecorder()
+	d.handler.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}

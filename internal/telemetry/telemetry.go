@@ -175,6 +175,16 @@ type Metrics struct {
 	shardSeqs  Counter   // sequences delivered by shard scans
 	shardBytes Counter   // real bytes read by shard scans (only shards that report I/O)
 
+	// Phase 3 remote-probe accounting (distributed scatter path).
+	remoteProbes     Counter   // shard probe RPCs issued (including hedges and retries)
+	remoteFailures   Counter   // probe RPCs that failed
+	remoteUs         Histogram // per-probe round-trip wall time, microseconds
+	remoteRetries    Counter   // probe attempts retried after a node failure
+	remoteReassigned Counter   // probes routed away from a down preferred node
+	remoteHedges     Counter   // hedge probes launched against a second node
+	remoteHedgesWon  Counter   // hedge probes that answered before the primary
+	remoteShardsLost Counter   // shards given up on after exhausting the pool
+
 	// Checkpoint/resume accounting.
 	ckptWrites   Counter // snapshots persisted
 	ckptBytes    Counter // bytes written across all snapshots
@@ -307,6 +317,61 @@ func (m *Metrics) ShardScan(d time.Duration, sequences, bytes int64) {
 	}
 }
 
+// RemoteProbe records one shard probe RPC round trip and whether it
+// succeeded.
+func (m *Metrics) RemoteProbe(d time.Duration, ok bool) {
+	if m == nil {
+		return
+	}
+	m.remoteProbes.Inc()
+	m.remoteUs.Observe(d.Microseconds())
+	if !ok {
+		m.remoteFailures.Inc()
+	}
+}
+
+// RemoteRetry records one probe attempt retried after a node failure.
+func (m *Metrics) RemoteRetry() {
+	if m == nil {
+		return
+	}
+	m.remoteRetries.Inc()
+}
+
+// RemoteReassigned records one probe routed to a different node because its
+// preferred node was marked down.
+func (m *Metrics) RemoteReassigned() {
+	if m == nil {
+		return
+	}
+	m.remoteReassigned.Inc()
+}
+
+// RemoteHedge records one hedge probe launched against a second node.
+func (m *Metrics) RemoteHedge() {
+	if m == nil {
+		return
+	}
+	m.remoteHedges.Inc()
+}
+
+// RemoteHedgeWon records one hedge probe that answered before its primary.
+func (m *Metrics) RemoteHedgeWon() {
+	if m == nil {
+		return
+	}
+	m.remoteHedgesWon.Inc()
+}
+
+// RemoteShardLost records one shard abandoned after every node failed it
+// within the retry budget.
+func (m *Metrics) RemoteShardLost() {
+	if m == nil {
+		return
+	}
+	m.remoteShardsLost.Inc()
+}
+
 // CheckpointWrite records one persisted snapshot of the given size and the
 // wall time its write took.
 func (m *Metrics) CheckpointWrite(bytes int64, d time.Duration) {
@@ -390,6 +455,15 @@ type Snapshot struct {
 	ShardSequences int64             `json:"phase3_shard_sequences,omitempty"`
 	ShardBytes     int64             `json:"phase3_shard_bytes,omitempty"`
 
+	RemoteProbes     int64             `json:"phase3_remote_probes,omitempty"`
+	RemoteFailures   int64             `json:"phase3_remote_failures,omitempty"`
+	RemoteProbeUs    HistogramSnapshot `json:"phase3_remote_probe_us,omitzero"`
+	RemoteRetries    int64             `json:"phase3_remote_retries,omitempty"`
+	RemoteReassigned int64             `json:"phase3_remote_reassigned,omitempty"`
+	RemoteHedges     int64             `json:"phase3_remote_hedges,omitempty"`
+	RemoteHedgesWon  int64             `json:"phase3_remote_hedges_won,omitempty"`
+	RemoteShardsLost int64             `json:"phase3_remote_shards_lost,omitempty"`
+
 	KernelExtended  int64 `json:"kernel_extended,omitempty"`
 	KernelScratch   int64 `json:"kernel_scratch,omitempty"`
 	KernelWindows   int64 `json:"kernel_windows,omitempty"`
@@ -470,6 +544,16 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	s.ShardSequences = m.shardSeqs.Load()
 	s.ShardBytes = m.shardBytes.Load()
+	s.RemoteProbes = m.remoteProbes.Load()
+	if s.RemoteProbes > 0 {
+		s.RemoteProbeUs = m.remoteUs.Snapshot()
+	}
+	s.RemoteFailures = m.remoteFailures.Load()
+	s.RemoteRetries = m.remoteRetries.Load()
+	s.RemoteReassigned = m.remoteReassigned.Load()
+	s.RemoteHedges = m.remoteHedges.Load()
+	s.RemoteHedgesWon = m.remoteHedgesWon.Load()
+	s.RemoteShardsLost = m.remoteShardsLost.Load()
 	s.CheckpointWrites = m.ckptWrites.Load()
 	s.CheckpointBytes = m.ckptBytes.Load()
 	s.CheckpointMillis = float64(m.ckptTime.Elapsed().Microseconds()) / 1000
@@ -518,6 +602,11 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	if s.ShardScans > 0 {
 		p("  phase-3 shards: %d shard scans (mean %.1f us, max %d us), %d sequences, %d real bytes\n",
 			s.ShardScans, s.ShardScanUs.Mean, s.ShardScanUs.Max, s.ShardSequences, s.ShardBytes)
+	}
+	if s.RemoteProbes > 0 {
+		p("  phase-3 remote: %d probes (%d failed, mean %.1f us, max %d us), %d retries, %d reassigned, %d hedges (%d won), %d shards lost\n",
+			s.RemoteProbes, s.RemoteFailures, s.RemoteProbeUs.Mean, s.RemoteProbeUs.Max,
+			s.RemoteRetries, s.RemoteReassigned, s.RemoteHedges, s.RemoteHedgesWon, s.RemoteShardsLost)
 	}
 	if s.CheckpointWrites > 0 {
 		p("  checkpoints: %d writes, %d bytes, %.1f ms\n",
