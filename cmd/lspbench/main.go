@@ -112,6 +112,20 @@ var grid = []workload{
 		MemBudget: 1000, MaxCand: 50000, Finalizer: core.BorderCollapsing,
 	},
 	{
+		// The pattern-growth engine's home turf: long sequences mined deep at
+		// a low threshold. Every window of every sequence is a candidate
+		// position, so the level-wise engine's per-candidate window walks
+		// scale with sequence length — while the growth engine's class
+		// profile values a whole sibling group from one walk plus one
+		// O(alphabet) pass per child, and its optimistic bound prunes the
+		// frontier without valuing it.
+		Name: "long-low",
+		N:    600, MinLen: 150, MaxLen: 220, M: 20,
+		NumMotifs: 2, MotifLen: 10, PlantProb: 0.55, Alpha: 0.05,
+		MinMatch: 0.2, Delta: 1e-2, PatLen: 8, MaxGap: 1, Sample: 300,
+		MemBudget: 1000, MaxCand: 50000, Finalizer: core.BorderCollapsing,
+	},
+	{
 		Name: "wide-alphabet",
 		N:    300, MinLen: 40, MaxLen: 40, M: 50,
 		NumMotifs: 2, MotifLen: 5, PlantProb: 0.50, Alpha: 0.04,
@@ -153,6 +167,21 @@ type result struct {
 	Phase2NaiveMs   float64 `json:"phase2_naive_ms"`
 	Phase2SpeedupX  float64 `json:"phase2_speedup_x"`
 	LabelsIdentical bool    `json:"labels_identical"`
+	// The engine-comparison cell: Phase2GrowthMs re-mines the last run's
+	// sample with the depth-first pattern-growth engine
+	// (Phase2Engine=growth), best-of-3 against a best-of-3 re-time of the
+	// level-wise engine (Phase2LevelwiseMs). GrowthSpeedupX is levelwise over
+	// growth, GrowthNodesExpanded counts DFS nodes valued or pruned (compare
+	// PeakCandidates, the level-wise engine's resident high-water mark),
+	// GrowthBoundPrunes counts subtrees cut by the projection bound, and
+	// GrowthLabelsIdentical confirms both engines classified every candidate
+	// identically.
+	Phase2LevelwiseMs     float64 `json:"phase2_levelwise_ms"`
+	Phase2GrowthMs        float64 `json:"phase2_growth_ms"`
+	GrowthSpeedupX        float64 `json:"growth_speedup_x"`
+	GrowthNodesExpanded   int64   `json:"growth_nodes_expanded"`
+	GrowthBoundPrunes     int64   `json:"growth_bound_prunes"`
+	GrowthLabelsIdentical bool    `json:"growth_labels_identical"`
 	// Phase3ShardMs re-mines the last run with Phase 3 probe scans scattered
 	// over Phase3Shards database shards (the SoA scatter-gather path);
 	// Phase3SpeedupX is the single-pass Phase 3 wall time over the sharded
@@ -298,7 +327,7 @@ func bench(w workload, runs int, seed int64) (result, error) {
 		return result{}, err
 	}
 
-	mine := func(metrics *telemetry.Metrics, runSeed int64, kernel core.Phase2Kernel, shards int) (*core.Result, time.Duration, error) {
+	mine := func(metrics *telemetry.Metrics, runSeed int64, kernel core.Phase2Kernel, shards int, engine core.Phase2Engine) (*core.Result, time.Duration, error) {
 		start := time.Now()
 		res, err := core.Mine(db, c, core.Config{
 			MinMatch:              w.MinMatch,
@@ -312,6 +341,7 @@ func bench(w workload, runs int, seed int64) (result, error) {
 			Workers:               runtime.NumCPU(),
 			Phase3Shards:          shards,
 			Phase2Kernel:          kernel,
+			Phase2Engine:          engine,
 			Rng:                   rand.New(rand.NewSource(runSeed)),
 			Metrics:               metrics,
 		})
@@ -331,7 +361,7 @@ func bench(w workload, runs int, seed int64) (result, error) {
 		// both sequences of runs mine identical samples.
 		runSeed := seed + int64(i)
 		metrics := &telemetry.Metrics{}
-		res, d, err := mine(metrics, runSeed, core.KernelIncremental, 0)
+		res, d, err := mine(metrics, runSeed, core.KernelIncremental, 0, core.Phase2Levelwise)
 		if err != nil {
 			return result{}, err
 		}
@@ -356,7 +386,7 @@ func bench(w workload, runs int, seed int64) (result, error) {
 			}
 			lastRes, lastSeed = res, runSeed
 		}
-		if _, d, err := mine(nil, runSeed, core.KernelIncremental, 0); err != nil {
+		if _, d, err := mine(nil, runSeed, core.KernelIncremental, 0, core.Phase2Levelwise); err != nil {
 			return result{}, err
 		} else {
 			plain += d
@@ -366,7 +396,7 @@ func bench(w workload, runs int, seed int64) (result, error) {
 	// Mine the last run's sample once more with the naive per-pattern kernel:
 	// its Phase 2 wall time is the speedup baseline, and its classifications
 	// must agree with the incremental kernel's pattern for pattern.
-	naiveRes, _, err := mine(nil, lastSeed, core.KernelNaive, 0)
+	naiveRes, _, err := mine(nil, lastSeed, core.KernelNaive, 0, core.Phase2Levelwise)
 	if err != nil {
 		return result{}, err
 	}
@@ -375,6 +405,45 @@ func bench(w workload, runs int, seed int64) (result, error) {
 		r.Phase2SpeedupX = r.Phase2NaiveMs / r.Phase2Ms
 	}
 	r.LabelsIdentical = sameLabels(lastRes, naiveRes)
+
+	// The engine-comparison cell: re-mine the last run's sample with the
+	// depth-first pattern-growth engine. Phase 2 is milliseconds on the quick
+	// grid, so both engines are re-timed uninstrumented best-of-3 against the
+	// same seed; one extra instrumented growth run collects the DFS node and
+	// bound-prune counters reported next to the level-wise engine's resident
+	// peak_candidates.
+	var growthRes *core.Result
+	var lwP2Best, growthP2Best time.Duration
+	for rep := 0; rep < 3; rep++ {
+		lwRes, _, err := mine(nil, lastSeed, core.KernelIncremental, 0, core.Phase2Levelwise)
+		if err != nil {
+			return result{}, err
+		}
+		if rep == 0 || lwRes.Phase2Time < lwP2Best {
+			lwP2Best = lwRes.Phase2Time
+		}
+		res, _, err := mine(nil, lastSeed, core.KernelIncremental, 0, core.Phase2Growth)
+		if err != nil {
+			return result{}, err
+		}
+		if rep == 0 || res.Phase2Time < growthP2Best {
+			growthP2Best = res.Phase2Time
+		}
+		growthRes = res
+	}
+	growthMetrics := &telemetry.Metrics{}
+	if _, _, err := mine(growthMetrics, lastSeed, core.KernelIncremental, 0, core.Phase2Growth); err != nil {
+		return result{}, err
+	}
+	growthSnap := growthMetrics.Snapshot()
+	r.Phase2LevelwiseMs = float64(lwP2Best.Microseconds()) / 1000
+	r.Phase2GrowthMs = float64(growthP2Best.Microseconds()) / 1000
+	if growthP2Best > 0 {
+		r.GrowthSpeedupX = float64(lwP2Best.Microseconds()) / float64(growthP2Best.Microseconds())
+	}
+	r.GrowthNodesExpanded = growthSnap.GrowthNodes
+	r.GrowthBoundPrunes = growthSnap.GrowthPrunes
+	r.GrowthLabelsIdentical = sameLabels(lastRes, growthRes) && sameFrequent(lastRes, growthRes)
 
 	// Re-mine the last run's sample with Phase 3 probes scattered over one
 	// shard per CPU (at least two, so the scatter-gather path and its SoA
@@ -388,14 +457,14 @@ func bench(w workload, runs int, seed int64) (result, error) {
 	var shardRes *core.Result
 	var seqBest, shardBest time.Duration
 	for rep := 0; rep < 3; rep++ {
-		seqRes, _, err := mine(nil, lastSeed, core.KernelIncremental, 0)
+		seqRes, _, err := mine(nil, lastSeed, core.KernelIncremental, 0, core.Phase2Levelwise)
 		if err != nil {
 			return result{}, err
 		}
 		if rep == 0 || seqRes.Phase3Time < seqBest {
 			seqBest = seqRes.Phase3Time
 		}
-		res, _, err := mine(nil, lastSeed, core.KernelIncremental, r.Phase3Shards)
+		res, _, err := mine(nil, lastSeed, core.KernelIncremental, r.Phase3Shards, core.Phase2Levelwise)
 		if err != nil {
 			return result{}, err
 		}

@@ -7,6 +7,7 @@
 //	lspmine -db test.lsq -matrix compat.txt -min-match 0.01 \
 //	        [-max-len 8] [-max-gap 1] [-sample 1000] [-delta 1e-4] \
 //	        [-budget 10000] [-finalizer collapse|levelwise|none] [-seed 1] \
+//	        [-phase2-engine levelwise|growth] \
 //	        [-phase2-kernel incremental|naive] [-workers -1] \
 //	        [-retries 3] [-retry-base 10ms] [-retry-cap 1s] \
 //	        [-checkpoint run.lckp] [-resume] [-phase-timeout 30s] \
@@ -32,6 +33,14 @@
 // -phase2-kernel naive restores per-level recompilation (for verification —
 // the classifications are identical). Kernel cache statistics appear in
 // -metrics output as the kernel_* fields.
+//
+// -phase2-engine growth swaps the breadth-first candidate miner for the
+// depth-first pattern-growth engine: patterns grow by prefix extension over
+// projected sample databases with optimistic bound pruning, producing the
+// same labels and borders — bit-identical for every -workers count — without
+// materializing whole candidate levels (so -max-candidates does not apply).
+// It shines on long-pattern/low-threshold workloads; growth statistics
+// appear in -metrics output as the growth_* fields.
 //
 // -metrics collects pipeline telemetry (per-phase scan traffic and wall
 // time, lattice and probe counters) and prints it to stderr; the same
@@ -94,6 +103,7 @@ func main() {
 	maxCand := flag.Int("max-candidates", 50000, "Phase 2 per-level candidate cap (0 = unlimited; dense matrices explode without one)")
 	finalizer := flag.String("finalizer", "collapse", "Phase 3 strategy: collapse, implicit, levelwise or none")
 	engine := flag.String("engine", "candidates", "Phase 2 engine: candidates or sweep (sparse matrices)")
+	phase2Engine := flag.String("phase2-engine", "levelwise", "Phase 2 mining strategy: levelwise (breadth-first generate-and-test) or growth (depth-first pattern growth over projected samples; same labels, bit-identical across worker counts)")
 	kernel := flag.String("phase2-kernel", "incremental", "Phase 2 sample kernel: incremental (prefix-extension cache) or naive (recompile per level)")
 	workers := flag.Int("workers", -1, "worker goroutines sharding Phase 2's sample and Phase 3's probe counting (-1 = all cores, 0/1 = sequential; results are identical for every count)")
 	phase3Shards := flag.Int("phase3-shards", 0, "scatter each Phase 3 probe scan over this many database shards, gathered deterministically (0/1 = single-pass probes; ignored when -db names a shard set)")
@@ -217,6 +227,19 @@ func main() {
 		fatal(fmt.Errorf("unknown Phase 2 kernel %q (want incremental or naive)", *kernel))
 	}
 
+	var p2e core.Phase2Engine
+	switch *phase2Engine {
+	case "levelwise":
+		p2e = core.Phase2Levelwise
+	case "growth":
+		p2e = core.Phase2Growth
+	default:
+		fatal(fmt.Errorf("unknown Phase 2 engine %q (want levelwise or growth)", *phase2Engine))
+	}
+	if p2e == core.Phase2Growth && *engine == "sweep" {
+		fatal(errors.New("-phase2-engine growth requires -engine candidates (the sweep pipeline has its own Phase 2)"))
+	}
+
 	// SIGINT/SIGTERM cancel the mining context: the run aborts within one
 	// sequence block, flushes a final checkpoint when -checkpoint is set,
 	// and reports the partial result instead of dying mid-scan. A second
@@ -251,6 +274,7 @@ func main() {
 		Workers:               *workers,
 		Phase3Shards:          *phase3Shards,
 		Phase2Kernel:          p2k,
+		Phase2Engine:          p2e,
 		Rng:                   rand.New(rand.NewSource(*seed)),
 		Metrics:               metrics,
 		PhaseTimeouts:         core.PhaseTimeouts{Phase3: *phaseTimeout},

@@ -215,7 +215,8 @@ func phase2ToSnapshot(p2 *miner.Result) *checkpoint.Phase2State {
 
 // phase2FromSnapshot rebuilds the full Phase 2 result: sets from the labels,
 // borders from the sets, Scans per the engine's accounting (the candidates
-// engine spends one sample-valuer call per level; the sweep spends none).
+// engine spends one sample-valuer call per level; the sweep and growth
+// engines spend none).
 func phase2FromSnapshot(ps *checkpoint.Phase2State, engine string) (*miner.Result, error) {
 	p2 := &miner.Result{
 		Frequent:           pattern.NewSet(),
@@ -342,7 +343,7 @@ func Resume(ctx context.Context, path string, db seqdb.Scanner, c compat.Source,
 	}
 	var engine string
 	switch snap.Engine {
-	case engineCandidates, engineSweep:
+	case engineCandidates, engineSweep, engineGrowth:
 		engine = snap.Engine
 	default:
 		return nil, fmt.Errorf("core: checkpoint engine %q unknown", snap.Engine)

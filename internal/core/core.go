@@ -75,7 +75,41 @@ func (f Finalizer) String() string {
 const (
 	engineCandidates = "candidates"
 	engineSweep      = "sweep"
+	engineGrowth     = "growth"
 )
+
+// Phase2Engine selects the Phase 2 sample-mining strategy.
+type Phase2Engine int
+
+const (
+	// Phase2Levelwise (the default) is the paper's breadth-first
+	// generate-and-test miner: each lattice level's candidates are generated
+	// from the previous level's survivors and valued in one batch
+	// (miner.Engine with the kernel selected by Phase2Kernel).
+	Phase2Levelwise Phase2Engine = iota
+	// Phase2Growth is the depth-first pattern-growth engine: patterns grow
+	// by prefix extension over projected sample databases, with optimistic
+	// bound pruning (internal/growth). It produces the same labels, borders
+	// and level counts as Phase2Levelwise — bit-identical for every worker
+	// count — while skipping the per-level candidate materialization;
+	// MaxCandidatesPerLevel therefore does not apply (the DFS holds one
+	// path, not a level, in memory) and is ignored. Phase2Kernel still
+	// selects the valuation discipline: KernelIncremental walks projections,
+	// KernelNaive recompiles every candidate from scratch.
+	Phase2Growth
+)
+
+// String names the engine for experiment output and checkpoints.
+func (e Phase2Engine) String() string {
+	switch e {
+	case Phase2Levelwise:
+		return "levelwise"
+	case Phase2Growth:
+		return "growth"
+	default:
+		return fmt.Sprintf("Phase2Engine(%d)", int(e))
+	}
+}
 
 // Phase2Kernel selects how the candidate-driven Phase 2 scores each lattice
 // level against the in-memory sample.
@@ -179,10 +213,19 @@ type Config struct {
 	// classifications agree between kernels, so it is excluded from the
 	// checkpoint config hash.
 	Phase2Kernel Phase2Kernel
+	// Phase2Engine selects the Phase 2 mining strategy: Phase2Levelwise
+	// (default, the paper's breadth-first miner) or Phase2Growth (the
+	// depth-first pattern-growth engine — same labels and borders,
+	// bit-identical across worker counts, no per-level candidate
+	// materialization). Recorded in the checkpoint config hash: the engines
+	// agree on results but not on intermediate snapshots, so a snapshot is
+	// resumed by the engine that wrote it.
+	Phase2Engine Phase2Engine
 	// Phase2CacheBudget bounds the incremental kernel's prefix cache in
 	// bytes (0 = match.DefaultCacheBudget, 256 MiB; negative = unlimited).
 	// Exceeding it falls back to compiled-matcher recomputation for the
-	// overflowing patterns — slower, never wrong.
+	// overflowing patterns — slower, never wrong. The growth engine applies
+	// the same budget to the projection bytes held along a DFS path.
 	Phase2CacheBudget int64
 	// Rng drives the sampling; required for reproducibility.
 	Rng *rand.Rand
@@ -285,6 +328,9 @@ func (c *Config) validate() error {
 	}
 	if c.Phase2Kernel < KernelIncremental || c.Phase2Kernel > KernelNaive {
 		return fmt.Errorf("core: unknown Phase 2 kernel %d", c.Phase2Kernel)
+	}
+	if c.Phase2Engine < Phase2Levelwise || c.Phase2Engine > Phase2Growth {
+		return fmt.Errorf("core: unknown Phase 2 engine %d", c.Phase2Engine)
 	}
 	if c.Phase3Shards < 0 {
 		return fmt.Errorf("core: negative Phase3Shards")
@@ -427,7 +473,11 @@ func MineContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cfg Con
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return mineContext(ctx, db, c, cfg, engineCandidates, nil)
+	engine := engineCandidates
+	if cfg.Phase2Engine == Phase2Growth {
+		engine = engineGrowth
+	}
+	return mineContext(ctx, db, c, cfg, engine, nil)
 }
 
 // implicitLower assembles CollapseImplicit's lower border: the FQT plus the

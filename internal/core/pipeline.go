@@ -16,6 +16,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/chernoff"
 	"repro/internal/compat"
+	"repro/internal/growth"
 	"repro/internal/levelwise"
 	"repro/internal/match"
 	"repro/internal/miner"
@@ -113,9 +114,12 @@ func mineContext(ctx context.Context, db seqdb.Scanner, c compat.Source, cfg Con
 		}
 	} else {
 		pctx, cancel := phaseCtx(ctx, cfg.PhaseTimeouts.Phase2)
-		if engine == engineSweep {
+		switch engine {
+		case engineSweep:
 			p2, err = phase2Sweep(pctx, c, &cfg, symbolMatch, sample)
-		} else {
+		case engineGrowth:
+			p2, err = phase2Growth(pctx, c, &cfg, symbolMatch, sample)
+		default:
 			p2, err = phase2Candidates(pctx, c, &cfg, symbolMatch, sample)
 		}
 		cancel()
@@ -295,4 +299,25 @@ func phase2Candidates(ctx context.Context, c compat.Source, cfg *Config, symbolM
 	}
 	return miner.SampleChernoffContext(ctx, c.Size(), valuer,
 		symbolMatch, cfg.MinMatch, cfg.Delta, len(sample), opts)
+}
+
+// phase2Growth is the depth-first pattern-growth Phase 2: same labels,
+// borders and level counts as phase2Candidates (bit-identical for every
+// worker count), with candidates valued over projected sample databases and
+// bound-pruned subtrees never valued at all. KernelNaive maps to the
+// engine's scratch mode — per-candidate compiled matching, no projections —
+// mirroring the level-wise kernel split.
+func phase2Growth(ctx context.Context, c compat.Source, cfg *Config, symbolMatch []float64, sample [][]pattern.Symbol) (*miner.Result, error) {
+	return growth.Mine(c, sample, growth.Config{
+		SymbolMatch: symbolMatch,
+		MinMatch:    cfg.MinMatch,
+		Delta:       cfg.Delta,
+		MaxLen:      cfg.MaxLen,
+		MaxGap:      cfg.MaxGap,
+		Workers:     cfg.Workers,
+		Budget:      cfg.Phase2CacheBudget,
+		Scratch:     cfg.Phase2Kernel == KernelNaive,
+		Metrics:     cfg.Metrics,
+		Ctx:         ctx,
+	})
 }

@@ -1,0 +1,71 @@
+package growth_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/compat"
+	"repro/internal/datagen"
+	"repro/internal/growth"
+	"repro/internal/miner"
+	"repro/internal/pattern"
+)
+
+// benchWorld builds a long-gapped-style sample: planted motifs under uniform
+// noise, mined deep (maxLen 8, maxGap 1) at a low threshold — the regime the
+// engine-comparison bench cell measures.
+func benchWorld(b *testing.B) (compat.Source, [][]pattern.Symbol) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	standard, _, err := datagen.Protein(datagen.ProteinConfig{
+		N: 300, M: 20, MinLen: 150, MaxLen: 220,
+		NumMotifs: 2, MotifLen: 8, PlantProb: 0.5,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	noisy, err := datagen.ApplyUniformNoise(standard, 20, 0.05, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sample := make([][]pattern.Symbol, noisy.Len())
+	for i := range sample {
+		sample[i] = noisy.Seq(i)
+	}
+	c, err := compat.UniformNoise(20, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, sample
+}
+
+func BenchmarkPhase2Levelwise(b *testing.B) {
+	c, sample := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		valuer, inc := miner.IncrementalSampleValuer(c, sample, miner.IncrementalConfig{})
+		_, err := miner.SampleChernoff(c.Size(), valuer, nil, 0.25, 1e-2, len(sample),
+			miner.Options{MaxLen: 8, MaxGap: 1})
+		inc.Release()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPhase2Growth(b *testing.B) {
+	c, sample := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := growth.Mine(c, sample, growth.Config{
+			MinMatch: 0.25,
+			Delta:    1e-2,
+			MaxLen:   8,
+			MaxGap:   1,
+			Workers:  -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -76,6 +76,11 @@ type Spec struct {
 	Finalizer string `json:"finalizer,omitempty"`
 	// Engine is the Phase 2 engine: candidates (default) or sweep.
 	Engine string `json:"engine,omitempty"`
+	// Phase2Engine is the Phase 2 mining strategy: levelwise (default) or
+	// growth (depth-first pattern growth over projected samples; identical
+	// results, no per-level candidate materialization). Only valid with the
+	// candidates engine — the sweep pipeline has its own Phase 2.
+	Phase2Engine string `json:"phase2_engine,omitempty"`
 	// Workers is the number of worker slots the job wants from the global
 	// semaphore (default 1). The grant may be smaller under load — never
 	// zero — and never changes the mined result.
@@ -160,6 +165,17 @@ func (s *Spec) Normalize() error {
 	case "candidates", "sweep":
 	default:
 		return fmt.Errorf("jobs: unknown engine %q (want candidates or sweep)", s.Engine)
+	}
+	switch s.Phase2Engine {
+	case "":
+		s.Phase2Engine = "levelwise"
+	case "levelwise":
+	case "growth":
+		if s.Engine == "sweep" {
+			return fmt.Errorf("jobs: phase2_engine growth requires the candidates engine")
+		}
+	default:
+		return fmt.Errorf("jobs: unknown phase2_engine %q (want levelwise or growth)", s.Phase2Engine)
 	}
 	if s.Workers == 0 {
 		s.Workers = 1

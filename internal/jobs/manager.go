@@ -551,6 +551,10 @@ func (m *Manager) mine(ctx context.Context, j *job, workers int) (*core.Result, 
 	if spec.Phase3Shards > 0 {
 		shards = spec.Phase3Shards
 	}
+	var p2e core.Phase2Engine
+	if spec.Phase2Engine == "growth" {
+		p2e = core.Phase2Growth
+	}
 	cfg := core.Config{
 		MinMatch:              spec.MinMatch,
 		Delta:                 spec.Delta,
@@ -562,6 +566,7 @@ func (m *Manager) mine(ctx context.Context, j *job, workers int) (*core.Result, 
 		Finalizer:             fin,
 		Workers:               workers,
 		Phase3Shards:          shards,
+		Phase2Engine:          p2e,
 		Metrics:               j.metrics,
 		Checkpoint:            policy,
 		PhaseTimeouts:         core.PhaseTimeouts{Phase3: phase3},

@@ -163,9 +163,12 @@ func TestSubmitValidation(t *testing.T) {
 		{DB: "x", Matrix: "y"},                // no min_match
 		{DB: "x", Matrix: "y", MinMatch: 2},   // out of range
 		{DB: "x", Matrix: "y", MinMatch: 0.5}, // no max_len
-		{DB: "x", Matrix: "y", MinMatch: 0.5, MaxLen: 3, Engine: "warp"},          // bad engine
-		{DB: "x", Matrix: "y", MinMatch: 0.5, MaxLen: 3, Finalizer: "guesswork"},  // bad finalizer
-		{DB: "x", Matrix: "y", MinMatch: 0.5, MaxLen: 3, Phase3TimeoutMillis: -1}, // negative budget
+		{DB: "x", Matrix: "y", MinMatch: 0.5, MaxLen: 3, Engine: "warp"},                               // bad engine
+		{DB: "x", Matrix: "y", MinMatch: 0.5, MaxLen: 3, Finalizer: "guesswork"},                       // bad finalizer
+		{DB: "x", Matrix: "y", MinMatch: 0.5, MaxLen: 3, Phase3TimeoutMillis: -1},                      // negative budget
+		{DB: "x", Matrix: "y", MinMatch: 0.5, MaxLen: 3, Phase2Engine: "prefixspan"},                   // bad phase2 engine
+		{DB: "x", Matrix: "y", MinMatch: 0.5, MaxLen: 3, Engine: "sweep", Phase2Engine: "growth"},      // growth needs candidates
+		{DB: "x", Matrix: "y", MinMatch: 0.5, MaxLen: 3, Engine: "candidates", Phase2Engine: "GROWTH"}, // names are case-sensitive
 	}
 	for i, spec := range bad {
 		if _, err := m.Submit(spec); err == nil {
@@ -174,6 +177,52 @@ func TestSubmitValidation(t *testing.T) {
 	}
 	if c := m.Counters(); c.Accepted != 0 {
 		t.Errorf("invalid specs counted as accepted: %+v", c)
+	}
+}
+
+// TestGrowthEngineJob submits the same spec under both Phase 2 engines and
+// demands identical result documents modulo timings: the growth engine is a
+// pure execution-strategy knob.
+func TestGrowthEngineJob(t *testing.T) {
+	dbPath, matrixPath := testWorld(t, testutil.Seed(t), 40, 0.2)
+	m := newTestManager(t, Options{})
+	results := make(map[string]Result)
+	for _, engine := range []string{"levelwise", "growth"} {
+		spec := testSpec(dbPath, matrixPath)
+		spec.Phase2Engine = engine
+		st, err := m.Submit(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		final := waitDone(t, m, st.ID)
+		if final.State != StateDone {
+			t.Fatalf("%s: state = %s (error %q)", engine, final.State, final.Error)
+		}
+		doc, err := m.Result(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res Result
+		if err := json.Unmarshal(doc, &res); err != nil {
+			t.Fatal(err)
+		}
+		results[engine] = res
+	}
+	lw, gr := results["levelwise"], results["growth"]
+	if len(gr.Frequent) == 0 {
+		t.Fatal("growth job found no frequent patterns in a world with a planted motif")
+	}
+	if len(lw.Frequent) != len(gr.Frequent) {
+		t.Fatalf("frequent counts differ: levelwise %d, growth %d", len(lw.Frequent), len(gr.Frequent))
+	}
+	for i := range lw.Frequent {
+		l, g := lw.Frequent[i], gr.Frequent[i]
+		if l.Key != g.Key || l.Border != g.Border || l.Match != g.Match {
+			t.Errorf("pattern %d differs: levelwise %+v, growth %+v", i, l, g)
+		}
+	}
+	if lw.Scans != gr.Scans {
+		t.Errorf("scan counts differ: levelwise %d, growth %d", lw.Scans, gr.Scans)
 	}
 }
 

@@ -140,6 +140,41 @@ func TestServerSubmitPollResult(t *testing.T) {
 	}
 }
 
+// TestServerRejectsUnknownPhase2Engine pins the machine-readable 400: an
+// unknown phase2_engine name must fail the submit with a JSON error body,
+// not enqueue a job.
+func TestServerRejectsUnknownPhase2Engine(t *testing.T) {
+	dbPath, matrixPath := testWorld(t, testutil.Seed(t), 10, 0.2)
+	m, srv := startTestServer(t, Options{})
+
+	spec := testSpec(dbPath, matrixPath)
+	spec.Phase2Engine = "prefixspan"
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("error body does not parse: %v", err)
+	}
+	if !strings.Contains(eb.Error, "phase2_engine") {
+		t.Errorf("error %q does not name phase2_engine", eb.Error)
+	}
+	if c := m.Counters(); c.Accepted != 0 {
+		t.Errorf("rejected spec counted as accepted: %+v", c)
+	}
+}
+
 func TestServerEventsStream(t *testing.T) {
 	dbPath, matrixPath := testWorld(t, testutil.Seed(t), 40, 0.2)
 	_, srv := startTestServer(t, Options{

@@ -256,6 +256,37 @@ func MineEngineSharded(fin core.Finalizer, kernel core.Phase2Kernel, workers, sh
 	}}
 }
 
+// MineGrowthEngine is MineEngine with Phase 2 run by the depth-first
+// pattern-growth engine instead of the breadth-first candidate miner. The
+// engines must agree exactly — growth replicates the level-wise labels
+// bit-for-bit — so the frequent set must equal every other engine's.
+func MineGrowthEngine(fin core.Finalizer, kernel core.Phase2Kernel, workers int) Engine {
+	name := fmt.Sprintf("core.Mine/growth/%s/%s/workers=%d", fin, kernel, workers)
+	return Engine{Name: name, Ref: RefMatch, Mine: func(cs *Case) (*pattern.Set, error) {
+		cfg := core.Config{
+			MinMatch:     cs.MinMatch,
+			Delta:        cs.Delta,
+			SampleSize:   len(cs.DB),
+			MaxLen:       cs.MaxLen,
+			MaxGap:       cs.MaxGap,
+			MemBudget:    cs.MemBudget,
+			Finalizer:    fin,
+			Workers:      workers,
+			Phase2Kernel: kernel,
+			Phase2Engine: core.Phase2Growth,
+			Rng:          caseRng(cs),
+		}
+		res, err := core.Mine(seqdb.NewMemDB(cs.DB), cs.C, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if fin == core.BorderCollapsingImplicit {
+			return implicitInSpace(cs, res.Frequent)
+		}
+		return res.Frequent, nil
+	}}
+}
+
 // RemoteShardEngine is MineEngineSharded with the probe scans served by
 // remote shard workers over the in-process RPC harness: nodes servers each
 // opening the case's full database, the coordinator pool scattering the
@@ -371,6 +402,10 @@ func Battery() []Engine {
 		MineEngineSharded(core.BorderCollapsing, core.KernelIncremental, 0, 4),
 		MineEngineSharded(core.BorderCollapsing, core.KernelIncremental, 2, 3),
 		MineEngineSharded(core.BorderCollapsingImplicit, core.KernelIncremental, 0, 2),
+		MineGrowthEngine(core.BorderCollapsing, core.KernelIncremental, 0),
+		MineGrowthEngine(core.BorderCollapsing, core.KernelIncremental, 3),
+		MineGrowthEngine(core.BorderCollapsing, core.KernelNaive, 2),
+		MineGrowthEngine(core.LevelWise, core.KernelIncremental, 2),
 		RemoteShardEngine(core.BorderCollapsing, core.KernelIncremental, 2, 3),
 		ExhaustiveEngine(),
 		MaxMinerEngine(),

@@ -109,19 +109,18 @@ func (p Pattern) Equal(q Pattern) bool {
 // Key returns a compact canonical representation usable as a map key. Two
 // patterns have the same Key iff they are Equal.
 func (p Pattern) Key() string {
-	var b strings.Builder
-	b.Grow(len(p) * 3)
+	buf := make([]byte, 0, len(p)*3)
 	for i, s := range p {
 		if i > 0 {
-			b.WriteByte(',')
+			buf = append(buf, ',')
 		}
 		if s.IsEternal() {
-			b.WriteByte('*')
+			buf = append(buf, '*')
 		} else {
-			fmt.Fprintf(&b, "%d", int32(s))
+			buf = strconv.AppendInt(buf, int64(int32(s)), 10)
 		}
 	}
-	return b.String()
+	return string(buf)
 }
 
 // ParseKey reverses Key: it rebuilds the pattern from its canonical

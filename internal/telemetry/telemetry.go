@@ -199,6 +199,16 @@ type Metrics struct {
 	kernelPeakBytes Gauge   // high-water mark of prefix-cache memory
 	kernelEvicted   Counter // cache entries dropped by the memory budget
 	kernelFallbacks Counter // levels where the budget forced fallback scoring
+
+	// Phase 2 growth-engine accounting (depth-first prefix projection).
+	growthNodes      Counter // DFS nodes expanded (patterns whose children were enumerated)
+	growthProjBuilt  Counter // projections built from scratch
+	growthProjReused Counter // projections extended from a parent projection
+	growthProjValued Counter // candidate valuations served by a projection walk
+	growthScratch    Counter // candidate valuations recomputed from scratch
+	growthPrunes     Counter // candidates discarded by the optimistic bound
+	growthDenied     Counter // projections denied by the path memory budget
+	growthPeakBytes  Gauge   // peak projection bytes held along any single DFS path
 }
 
 // SetPhase marks the pipeline phase subsequent scan traffic is attributed to.
@@ -403,6 +413,52 @@ func (m *Metrics) KernelLevel(extended, scratch, windows, bytes, evicted int64, 
 	}
 }
 
+// GrowthNode records one expanded DFS node of the pattern-growth Phase 2
+// engine: how many of its children were valued over the projection, how many
+// fell back to scratch valuation, and how many were discarded by the
+// optimistic bound before valuing.
+func (m *Metrics) GrowthNode(valued, scratch, pruned int64) {
+	if m == nil {
+		return
+	}
+	m.growthNodes.Inc()
+	m.growthProjValued.Add(valued)
+	m.growthScratch.Add(scratch)
+	m.growthPrunes.Add(pruned)
+}
+
+// GrowthProjection records one projection materialized by the growth engine —
+// extended from a cached prefix projection (reused == true) or built from
+// scratch.
+func (m *Metrics) GrowthProjection(reused bool) {
+	if m == nil {
+		return
+	}
+	if reused {
+		m.growthProjReused.Inc()
+	} else {
+		m.growthProjBuilt.Inc()
+	}
+}
+
+// GrowthProjectionDenied records a projection too large for a worker's cache
+// budget; it served its node transiently and is rebuilt on the next visit.
+func (m *Metrics) GrowthProjectionDenied() {
+	if m == nil {
+		return
+	}
+	m.growthDenied.Inc()
+}
+
+// GrowthPeakBytes raises the high-water mark of projection memory held by a
+// single worker (its cache plus any transient build).
+func (m *Metrics) GrowthPeakBytes(n int64) {
+	if m == nil {
+		return
+	}
+	m.growthPeakBytes.SetMax(n)
+}
+
 // ResumeHit records that the run resumed from a checkpoint recorded at the
 // given phase, skipping scansSkipped full database scans.
 func (m *Metrics) ResumeHit(phase, scansSkipped int) {
@@ -471,6 +527,15 @@ type Snapshot struct {
 	KernelEvicted   int64 `json:"kernel_evicted,omitempty"`
 	KernelFallbacks int64 `json:"kernel_fallbacks,omitempty"`
 
+	GrowthNodes      int64 `json:"growth_nodes,omitempty"`
+	GrowthProjBuilt  int64 `json:"growth_proj_built,omitempty"`
+	GrowthProjReused int64 `json:"growth_proj_reused,omitempty"`
+	GrowthProjValued int64 `json:"growth_proj_valued,omitempty"`
+	GrowthScratch    int64 `json:"growth_scratch,omitempty"`
+	GrowthPrunes     int64 `json:"growth_prunes,omitempty"`
+	GrowthDenied     int64 `json:"growth_denied,omitempty"`
+	GrowthPeakBytes  int64 `json:"growth_peak_bytes,omitempty"`
+
 	CheckpointWrites int64   `json:"checkpoint_writes,omitempty"`
 	CheckpointBytes  int64   `json:"checkpoint_bytes,omitempty"`
 	CheckpointMillis float64 `json:"checkpoint_millis,omitempty"`
@@ -534,6 +599,14 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.KernelPeakBytes = m.kernelPeakBytes.Load()
 	s.KernelEvicted = m.kernelEvicted.Load()
 	s.KernelFallbacks = m.kernelFallbacks.Load()
+	s.GrowthNodes = m.growthNodes.Load()
+	s.GrowthProjBuilt = m.growthProjBuilt.Load()
+	s.GrowthProjReused = m.growthProjReused.Load()
+	s.GrowthProjValued = m.growthProjValued.Load()
+	s.GrowthScratch = m.growthScratch.Load()
+	s.GrowthPrunes = m.growthPrunes.Load()
+	s.GrowthDenied = m.growthDenied.Load()
+	s.GrowthPeakBytes = m.growthPeakBytes.Load()
 	s.Probed = m.probed.Load()
 	s.ProbeBatch = m.probeBatch.Snapshot()
 	s.ProbeScans = s.ProbeBatch.Count
@@ -593,6 +666,11 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	if s.KernelExtended > 0 || s.KernelScratch > 0 {
 		p("  phase-2 kernel: %d extended / %d scratch, %d windows cached (peak %d bytes), %d evicted, %d fallback levels\n",
 			s.KernelExtended, s.KernelScratch, s.KernelWindows, s.KernelPeakBytes, s.KernelEvicted, s.KernelFallbacks)
+	}
+	if s.GrowthNodes > 0 {
+		p("  phase-2 growth: %d nodes, %d projections (%d built / %d reused, %d denied, peak worker %d bytes), %d proj-valued / %d scratch, %d bound-pruned\n",
+			s.GrowthNodes, s.GrowthProjBuilt+s.GrowthProjReused, s.GrowthProjBuilt, s.GrowthProjReused,
+			s.GrowthDenied, s.GrowthPeakBytes, s.GrowthProjValued, s.GrowthScratch, s.GrowthPrunes)
 	}
 	p("  probes: %d patterns in %d scans (batch mean %.1f, max %d)\n",
 		s.Probed, s.ProbeScans, s.ProbeBatch.Mean, s.ProbeBatch.Max)

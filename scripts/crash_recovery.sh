@@ -27,6 +27,55 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# cli_cell NAME [EXTRA_FLAGS...] — run one interrupt-and-resume cell: an
+# uninterrupted baseline, a SIGINT mid-run, and a resume whose border must
+# be identical to the baseline. Artifacts are prefixed with NAME.
+cli_cell() {
+  cell=$1
+  shift
+  cargs=("${args[@]}" "$@")
+
+  "$dir/lspmine" "${cargs[@]}" >"$dir/$cell-baseline.txt"
+
+  "$dir/lspmine" "${cargs[@]}" -checkpoint "$dir/$cell.lckp" \
+    >"$dir/$cell-killed.txt" 2>"$dir/$cell-killed.err" &
+  pid=$!
+  sleep 0.2
+  kill -INT "$pid" 2>/dev/null || true
+  rc=0
+  wait "$pid" || rc=$?
+
+  case "$rc" in
+  130)
+    echo "$cell: run interrupted mid-flight"
+    grep -q "progress saved to" "$dir/$cell-killed.err"
+    ;;
+  0)
+    echo "$cell: run finished before the signal landed; resume will skip everything"
+    ;;
+  *)
+    echo "$cell: interrupted run exited with unexpected status $rc" >&2
+    cat "$dir/$cell-killed.err" >&2
+    exit 1
+    ;;
+  esac
+
+  if [ ! -f "$dir/$cell.lckp" ]; then
+    # The signal beat the first checkpoint write (mid-Phase 1). Produce a
+    # snapshot to resume from so the check still exercises the resume path.
+    echo "$cell: no snapshot written yet; rerunning to completion for one"
+    "$dir/lspmine" "${cargs[@]}" -checkpoint "$dir/$cell.lckp" >/dev/null
+  fi
+
+  "$dir/lspmine" "${cargs[@]}" -checkpoint "$dir/$cell.lckp" -resume -v \
+    >"$dir/$cell-resumed.txt"
+  grep -q "resumed from phase" "$dir/$cell-resumed.txt"
+  # Strip the -v preamble so the border list lines up with the plain baseline.
+  sed -n '/patterns (/,$p' "$dir/$cell-resumed.txt" >"$dir/$cell-resumed-border.txt"
+  diff -u "$dir/$cell-baseline.txt" "$dir/$cell-resumed-border.txt"
+  echo "$cell: resumed border identical to the uninterrupted run"
+}
+
 cli_mode() {
   go build -o "$dir/lspgen" ./cmd/lspgen
   go build -o "$dir/lspmine" ./cmd/lspmine
@@ -37,45 +86,13 @@ cli_mode() {
   args=(-db "$dir/test.lsq" -matrix "$dir/compat.txt"
     -min-match 0.08 -sample 800 -seed 7)
 
-  "$dir/lspmine" "${args[@]}" >"$dir/baseline.txt"
+  cli_cell levelwise
+  cli_cell growth -phase2-engine growth
 
-  "$dir/lspmine" "${args[@]}" -checkpoint "$dir/run.lckp" \
-    >"$dir/killed.txt" 2>"$dir/killed.err" &
-  pid=$!
-  sleep 0.2
-  kill -INT "$pid" 2>/dev/null || true
-  rc=0
-  wait "$pid" || rc=$?
-
-  case "$rc" in
-  130)
-    echo "run interrupted mid-flight"
-    grep -q "progress saved to" "$dir/killed.err"
-    ;;
-  0)
-    echo "run finished before the signal landed; resume will skip everything"
-    ;;
-  *)
-    echo "interrupted run exited with unexpected status $rc" >&2
-    cat "$dir/killed.err" >&2
-    exit 1
-    ;;
-  esac
-
-  if [ ! -f "$dir/run.lckp" ]; then
-    # The signal beat the first checkpoint write (mid-Phase 1). Produce a
-    # snapshot to resume from so the check still exercises the resume path.
-    echo "no snapshot written yet; rerunning to completion for one"
-    "$dir/lspmine" "${args[@]}" -checkpoint "$dir/run.lckp" >/dev/null
-  fi
-
-  "$dir/lspmine" "${args[@]}" -checkpoint "$dir/run.lckp" -resume -v \
-    >"$dir/resumed.txt"
-  grep -q "resumed from phase" "$dir/resumed.txt"
-  # Strip the -v preamble so the border list lines up with the plain baseline.
-  sed -n '/patterns (/,$p' "$dir/resumed.txt" >"$dir/resumed-border.txt"
-  diff -u "$dir/baseline.txt" "$dir/resumed-border.txt"
-  echo "crash recovery OK: resumed border identical to the uninterrupted run"
+  # The two Phase 2 engines promise identical labels, so the mined borders —
+  # and therefore the printed pattern lists — must agree across engines too.
+  diff -u "$dir/levelwise-baseline.txt" "$dir/growth-baseline.txt"
+  echo "crash recovery OK: both engines resume to their baselines, and the engines agree"
 }
 
 # serve_start DATA_DIR LOG_PREFIX — start lspserve on a free port and set
