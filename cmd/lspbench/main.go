@@ -222,17 +222,67 @@ type serveResult struct {
 	LatencyMaxMs float64 `json:"latency_max_ms"`
 }
 
+// streamResult is the streaming cell: the base workload fed into an
+// append-only log batch by batch, consumed by an incremental follower
+// (internal/stream through core.Stream) and, for comparison, re-mined from
+// scratch over each growing prefix. The follower's claim is amortized cost:
+// stationary batches skip Phase 2 and serve Phase 3 probes from cached exact
+// sums, so it must spend strictly fewer probe-pattern counts (and typically
+// far fewer scans) than the from-scratch loop over the same batch schedule.
+type streamResult struct {
+	Workload string `json:"workload"`
+	// WarmupSequences seed the log before measurement starts: a follower
+	// attaching to a near-empty log is degenerate (a tiny window makes the
+	// Chernoff band so wide that almost the whole lattice is ambiguous, for
+	// the from-scratch miner just as much), so the cell measures the
+	// steady-state regime both paths actually run in.
+	WarmupSequences int `json:"warmup_sequences"`
+	Batches         int `json:"batches"`
+	BatchSize       int `json:"batch_size"`
+
+	// Amortized wall time per consumed batch, streaming vs from-scratch.
+	StreamMsPerBatch  float64 `json:"stream_ms_per_batch"`
+	ScratchMsPerBatch float64 `json:"scratch_ms_per_batch"`
+	SpeedupX          float64 `json:"speedup_x"`
+
+	// ReminesSkipped counts batches whose maintained labels proved the
+	// border did not move (Phase 2 skipped outright).
+	ReminesSkipped int `json:"remines_skipped"`
+	// StreamProbed / ScratchProbed count the Phase 3 probe patterns each
+	// side actually counted against the database over all batches (for the
+	// follower, cache-served resolutions are subtracted — they cost no
+	// database work); ReprobesAvoided counts those cache-served ambiguous
+	// patterns. FewerReprobes is the committed claim: the incremental path
+	// re-probed strictly fewer patterns than mining every prefix from
+	// scratch.
+	StreamProbed    int64 `json:"stream_probed"`
+	ScratchProbed   int64 `json:"scratch_probed"`
+	ReprobesAvoided int64 `json:"reprobes_avoided"`
+	FewerReprobes   bool  `json:"fewer_reprobes"`
+
+	// Window passes spent by each side (Phase 1 + Phase 3; the follower's
+	// ingest tail-reads are not passes).
+	StreamScans  int64 `json:"stream_scans"`
+	ScratchScans int64 `json:"scratch_scans"`
+
+	// FinalSetsAgree compares the last batch's frequent set against the
+	// final from-scratch mine (informational: the two draw different Phase 1
+	// samples, so agreement is expected, not guaranteed).
+	FinalSetsAgree bool `json:"final_sets_agree"`
+}
+
 // report is the BENCH_mine.json document.
 type report struct {
-	Schema    string       `json:"schema"`
-	Go        string       `json:"go"`
-	GOOS      string       `json:"goos"`
-	GOARCH    string       `json:"goarch"`
-	NumCPU    int          `json:"num_cpu"`
-	Quick     bool         `json:"quick"`
-	Seed      int64        `json:"seed"`
-	Workloads []result     `json:"workloads"`
-	Serve     *serveResult `json:"serve,omitempty"`
+	Schema    string        `json:"schema"`
+	Go        string        `json:"go"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Quick     bool          `json:"quick"`
+	Seed      int64         `json:"seed"`
+	Workloads []result      `json:"workloads"`
+	Serve     *serveResult  `json:"serve,omitempty"`
+	Stream    *streamResult `json:"stream,omitempty"`
 }
 
 func main() {
@@ -280,6 +330,13 @@ func main() {
 		fatal(fmt.Errorf("serve: %w", err))
 	}
 	rep.Serve = sr
+
+	fmt.Fprintf(os.Stderr, "lspbench: stream (base workload, batched append + incremental follow)\n")
+	str, err := benchStream(*seed)
+	if err != nil {
+		fatal(fmt.Errorf("stream: %w", err))
+	}
+	rep.Stream = str
 
 	var f *os.File
 	if *out == "-" {
@@ -601,6 +658,164 @@ func benchServe(n int, seed int64) (*serveResult, error) {
 	sr.LatencyP95Ms = percentile(latencyMs, 0.95)
 	sr.LatencyMaxMs = percentile(latencyMs, 1)
 	return sr, nil
+}
+
+// benchStream feeds the base workload into an append-only log in fixed
+// batches and measures the incremental follower against mining every growing
+// prefix from scratch with the same parameters. Both sides run once — the
+// comparison is amortized cost over the batch schedule, not a microbenchmark.
+func benchStream(seed int64) (*streamResult, error) {
+	// The base recipe at streaming scale: ten times the sequences, so the
+	// window is what a follower actually tails — big enough that full window
+	// passes (Phase 1 rescans, probe scans) dominate the from-scratch loop,
+	// which is exactly the cost the incremental path exists to amortize.
+	w := grid[0] // base
+	w.N *= 10
+	rng := rand.New(rand.NewSource(seed))
+	standard, _, err := datagen.Protein(datagen.ProteinConfig{
+		N: w.N, M: w.M, MinLen: w.MinLen, MaxLen: w.MaxLen,
+		NumMotifs: w.NumMotifs, MotifLen: w.MotifLen, PlantProb: w.PlantProb,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	noisy, err := datagen.ApplyUniformNoise(standard, w.M, w.Alpha, rng)
+	if err != nil {
+		return nil, err
+	}
+	c, err := compat.UniformNoise(w.M, w.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	var seqs [][]pattern.Symbol
+	if err := noisy.Scan(func(id int, seq []pattern.Symbol) error {
+		seqs = append(seqs, seq)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	dir, err := os.MkdirTemp("", "lspbench-stream-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	log, err := seqdb.CreateAppend(filepath.Join(dir, "stream.lsa"))
+	if err != nil {
+		return nil, err
+	}
+	defer log.Close()
+
+	const batchSize = 200
+	warmup := len(seqs) / 2
+	batches := (len(seqs) - warmup + batchSize - 1) / batchSize
+	cfg := core.StreamConfig{
+		Config: core.Config{
+			MinMatch:              w.MinMatch,
+			Delta:                 w.Delta,
+			SampleSize:            w.Sample,
+			MaxLen:                w.PatLen,
+			MaxGap:                w.MaxGap,
+			MaxCandidatesPerLevel: w.MaxCand,
+			MemBudget:             w.MemBudget,
+			Workers:               runtime.NumCPU(),
+		},
+		Seed: seed,
+	}
+	st, err := core.NewStream(log, c, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &streamResult{Workload: w.Name, WarmupSequences: warmup, Batches: batches, BatchSize: batchSize}
+	ctx := context.Background()
+
+	// Warmup: the follower consumes the established prefix in one advance
+	// that does not count toward the amortized figures.
+	for _, seq := range seqs[:warmup] {
+		if _, err := log.Append(seq); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := st.Advance(ctx); err != nil {
+		return nil, err
+	}
+
+	var streamTime time.Duration
+	var lastFrequent *pattern.Set
+	for lo := warmup; lo < len(seqs); lo += batchSize {
+		hi := min(lo+batchSize, len(seqs))
+		for _, seq := range seqs[lo:hi] {
+			if _, err := log.Append(seq); err != nil {
+				return nil, err
+			}
+		}
+		t0 := time.Now()
+		res, err := st.Advance(ctx)
+		if err != nil {
+			return nil, err
+		}
+		streamTime += time.Since(t0)
+		if !res.Remined {
+			r.ReminesSkipped++
+		}
+		r.ReprobesAvoided += int64(res.ReprobesAvoided)
+		r.StreamScans += int64(res.Scans)
+		if res.Phase3 != nil {
+			r.StreamProbed += int64(res.Phase3.Probed - res.ReprobesAvoided)
+		}
+		lastFrequent = res.Frequent
+	}
+
+	// The from-scratch loop: one full three-phase mine per prefix, same
+	// parameters, a fresh Rng per batch (the follower's reservoir draws are
+	// stateless; the batch miner's sampling needs an explicit source).
+	var scratchTime time.Duration
+	var lastScratch *core.Result
+	for lo := warmup; lo < len(seqs); lo += batchSize {
+		hi := min(lo+batchSize, len(seqs))
+		prefix := seqdb.NewMemDB(seqs[:hi])
+		t0 := time.Now()
+		res, err := core.Mine(prefix, c, core.Config{
+			MinMatch:              w.MinMatch,
+			Delta:                 w.Delta,
+			SampleSize:            w.Sample,
+			MaxLen:                w.PatLen,
+			MaxGap:                w.MaxGap,
+			MaxCandidatesPerLevel: w.MaxCand,
+			MemBudget:             w.MemBudget,
+			Finalizer:             w.Finalizer,
+			Workers:               runtime.NumCPU(),
+			Rng:                   rand.New(rand.NewSource(seed)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		scratchTime += time.Since(t0)
+		r.ScratchScans += int64(res.Scans)
+		if res.Phase3 != nil {
+			r.ScratchProbed += int64(res.Phase3.Probed)
+		}
+		lastScratch = res
+	}
+
+	r.StreamMsPerBatch = float64(streamTime.Microseconds()) / 1000 / float64(batches)
+	r.ScratchMsPerBatch = float64(scratchTime.Microseconds()) / 1000 / float64(batches)
+	if streamTime > 0 {
+		r.SpeedupX = float64(scratchTime.Microseconds()) / float64(streamTime.Microseconds())
+	}
+	r.FewerReprobes = r.StreamProbed < r.ScratchProbed
+	if lastFrequent != nil && lastScratch != nil && lastFrequent.Len() == lastScratch.Frequent.Len() {
+		r.FinalSetsAgree = true
+		lastFrequent.ForEach(func(p pattern.Pattern) bool {
+			if !lastScratch.Frequent.Contains(p) {
+				r.FinalSetsAgree = false
+				return false
+			}
+			return true
+		})
+	}
+	return r, nil
 }
 
 // percentile returns the nearest-rank p-quantile of xs (p in (0,1]).

@@ -47,6 +47,18 @@
 // snapshot rides inside -json reports as the "telemetry" object. -cpuprofile
 // and -memprofile write pprof profiles for offline analysis.
 //
+// -follow turns the run into a streaming session over an append-only log
+// (.lsa, written by lspappend or lspserve -append-log): instead of one batch
+// mine, lspmine tails the log read-only, consuming newly appended sequences
+// every -poll interval and re-mining incrementally — stationary batches skip
+// Phase 2 entirely and serve Phase 3 probes from cached exact sums. Each
+// processed batch prints one summary line; -follow-batches N exits after N
+// advances (0 = run until signalled). With -checkpoint the stream state is
+// persisted after every advance and -resume continues a killed follower
+// bit-identically, catching up on sequences appended while it was down.
+// Sliding-window expiry belongs to the log's writer (lspappend -window,
+// lspserve -append-window); the read-only follower inherits it.
+//
 // -checkpoint persists progress to the given file (crash-atomically, after
 // every phase and every Phase 3 probe scan); -resume restarts a killed run
 // from that file, skipping every full scan it records. -phase-timeout bounds
@@ -81,6 +93,7 @@ import (
 	"runtime/pprof"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/compat"
 	"repro/internal/core"
@@ -118,6 +131,9 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from the -checkpoint snapshot, skipping every full scan it records")
 	phaseTimeout := flag.Duration("phase-timeout", 0, "Phase 3 wall-clock budget; on expiry the run degrades gracefully instead of failing (0 = unlimited)")
 	seed := flag.Int64("seed", 1, "random seed for sampling")
+	follow := flag.Bool("follow", false, "stream: tail the append-only log named by -db, mining incrementally as sequences arrive")
+	poll := flag.Duration("poll", 2*time.Second, "polling interval between follow advances")
+	followBatches := flag.Int("follow-batches", 0, "exit after this many follow advances (0 = run until signalled)")
 	all := flag.Bool("all", false, "print every frequent pattern, not only the border")
 	jsonOut := flag.Bool("json", false, "emit a JSON report instead of text")
 	metricsOut := flag.String("metrics", "", "collect pipeline telemetry and print it to stderr: json or text")
@@ -168,6 +184,10 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	adb, _ := db.(*seqdb.AppendDB)
+	if *follow && adb == nil {
+		fatal(errors.New("-follow requires -db to name a single append-only log (.lsa)"))
 	}
 	if *retryBase < 0 || *retryCap < 0 || (*retryBase > 0 && *retryCap > 0 && *retryCap < *retryBase) {
 		fatal(errors.New("-retry-cap must be >= -retry-base, both non-negative"))
@@ -261,6 +281,26 @@ func main() {
 	var metrics *telemetry.Metrics
 	if *metricsOut != "" {
 		metrics = &telemetry.Metrics{}
+	}
+	if *follow {
+		scfg := core.StreamConfig{
+			Config: core.Config{
+				MinMatch:              *minMatch,
+				Delta:                 *delta,
+				SampleSize:            *sample,
+				MaxLen:                *maxLen,
+				MaxGap:                *maxGap,
+				MaxCandidatesPerLevel: *maxCand,
+				MemBudget:             *budget,
+				Workers:               *workers,
+				Phase2Kernel:          p2k,
+				Metrics:               metrics,
+			},
+			Seed:           *seed,
+			CheckpointPath: *ckptPath,
+		}
+		runFollow(ctx, adb, c, scfg, *resume, *poll, *followBatches, *all, *verbose, metrics, *metricsOut)
+		return
 	}
 	cfg := core.Config{
 		MinMatch:              *minMatch,
@@ -380,6 +420,78 @@ func main() {
 		}
 	}
 	finish(metrics, res, *metricsOut)
+}
+
+// runFollow tails the append log: one Advance per -poll tick, one summary
+// line per tick, patterns printed when the batch re-mined (the set cannot
+// have changed otherwise). A signal stops the follower cleanly — with
+// -checkpoint every advance is already persisted, so the next -follow -resume
+// picks up where this one stopped, including anything appended in between.
+func runFollow(ctx context.Context, db *seqdb.AppendDB, c compat.Source, cfg core.StreamConfig, resume bool, poll time.Duration, maxBatches int, all, verbose bool, metrics *telemetry.Metrics, metricsOut string) {
+	var st *core.Stream
+	var err error
+	if resume {
+		if cfg.CheckpointPath == "" {
+			fatal(errors.New("-resume requires -checkpoint"))
+		}
+		st, err = core.ResumeStream(cfg.CheckpointPath, db, c, cfg)
+	} else {
+		st, err = core.NewStream(db, c, cfg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	a := pattern.GenericAlphabet(c.Size())
+	for batch := 1; ; batch++ {
+		res, err := st.Advance(ctx)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				break
+			}
+			fatal(err)
+		}
+		phase2 := "cached"
+		if res.Remined {
+			phase2 = "remined"
+		}
+		fmt.Printf("batch %d: +%d/-%d sequences (cursor %d), %d frequent, %d border, phase2 %s, %d reprobes avoided, %d scans\n",
+			batch, res.Appended, res.Expired, res.Total, res.Frequent.Len(), res.Border.Len(), phase2, res.ReprobesAvoided, res.Scans)
+		// The set only changes when a batch re-mines, so print it then — and
+		// on a bounded run's last batch, so scripts get the final set even
+		// when that batch was served from cache.
+		if verbose && (res.Remined || (maxBatches > 0 && batch == maxBatches)) {
+			set, label := res.Border, "border"
+			if all {
+				set, label = res.Frequent, "frequent"
+			}
+			fmt.Printf("  %s:", label)
+			for _, p := range set.Patterns() {
+				fmt.Printf(" %s", a.Format(p))
+			}
+			fmt.Println()
+		}
+		if maxBatches > 0 && batch >= maxBatches {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			goto stopped
+		case <-time.After(poll):
+		}
+	}
+stopped:
+	if metrics != nil {
+		snap := metrics.Snapshot()
+		var err error
+		if metricsOut == "json" {
+			err = snap.WriteJSON(os.Stderr)
+		} else {
+			err = snap.WriteText(os.Stderr)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lspmine: metrics:", err)
+		}
+	}
 }
 
 // degradeCause names what forced the graceful degradation.

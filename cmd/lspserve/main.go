@@ -20,6 +20,7 @@
 //	GET    /v1/jobs/{id}/events NDJSON stream of status snapshots
 //	DELETE /v1/jobs/{id}        cancel
 //	POST   /v1/shards/probe     probe-batch RPC (with -serve-shards)
+//	POST   /v1/append           append sequences (with -append-log)
 //	GET    /healthz             liveness (503 while draining)
 //	GET    /metrics             Prometheus text
 //
@@ -31,6 +32,13 @@
 // into a distributed Phase 3 shard worker: it answers probe-batch RPCs
 // over the named database (comma-separated paths open a shard set) beside
 // the jobs API, for lspmine -phase3-nodes coordinators.
+//
+// -append-log makes the server the ingest side of a streaming deployment:
+// it owns the write handle of the named append-only log (.lsa, created when
+// absent) and serves POST /v1/append — clients feed sequences in, with
+// optional expect_total idempotency, and followers (lspmine -follow)
+// tail the same file read-only. -append-window N expires all but the newest
+// N live sequences after each accepted batch; -append-sync fsyncs per batch.
 //
 // Every accepted job is journaled crash-atomically under -data before the
 // submit response is sent, running jobs checkpoint their mining progress
@@ -85,6 +93,9 @@ func main() {
 	retryBase := flag.Duration("retry-base", 0, "base delay of the retrying scanner's full-jitter backoff for jobs that set none (0 = 10ms)")
 	retryCap := flag.Duration("retry-cap", 0, "delay cap of the retrying scanner's backoff for jobs that set none (0 = 1s)")
 	serveShards := flag.String("serve-shards", "", "serve Phase 3 probe-batch RPCs over this database (comma-separated paths open a shard set); empty = jobs API only")
+	appendLog := flag.String("append-log", "", "own this append-only log (.lsa, created when absent) and serve POST /v1/append into it")
+	appendWindow := flag.Int("append-window", 0, "expire all but the newest N live sequences after each accepted append batch (0 = keep everything)")
+	appendSync := flag.Bool("append-sync", false, "fsync the append log after each accepted batch")
 	streamInterval := flag.Duration("stream-interval", 200*time.Millisecond, "cadence of /events status snapshots")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before giving up on in-flight jobs")
 	verbose := flag.Bool("v", false, "log job lifecycle events")
@@ -134,7 +145,17 @@ func main() {
 	// Scripts parse this line; keep its shape stable.
 	fmt.Printf("lspserve listening on http://%s\n", ln.Addr())
 
-	handler := (&jobs.Server{Manager: mgr, StreamInterval: *streamInterval, AuthToken: *authToken}).Handler()
+	server := &jobs.Server{Manager: mgr, StreamInterval: *streamInterval, AuthToken: *authToken}
+	if *appendLog != "" {
+		adb, err := seqdb.OpenAppend(*appendLog)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer adb.Close()
+		server.AppendLog = &jobs.AppendLog{DB: adb, Window: *appendWindow, Sync: *appendSync}
+		logger.Printf("serving /v1/append into %s (%d live sequences)", *appendLog, adb.Len())
+	}
+	handler := server.Handler()
 	if *serveShards != "" {
 		shards := &shardrpc.Server{
 			Open:      func() (seqdb.Scanner, error) { return openShardDB(*serveShards) },

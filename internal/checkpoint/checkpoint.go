@@ -54,6 +54,7 @@ const (
 	secPhase1 = 2
 	secPhase2 = 3
 	secProbe  = 4
+	secStream = 5
 	secEnd    = 0xFF
 
 	// maxStringLen bounds any single string read from disk, so a corrupt
@@ -121,6 +122,24 @@ type ProbeState struct {
 	Pending []string
 }
 
+// StreamState is the incremental streaming session's progress beyond the
+// phase sections: the consumed window, the raw Phase 1 symbol sums (the
+// pre-division form a restored accumulator continues from), and the
+// maintained per-pattern sums — sample sums for the live mine's candidates
+// and exact window sums for every probed pattern. The reservoir sample
+// itself rides in the phase1 section and the live mine in the phase2
+// section; reservoir draws are stateless, so no RNG state is recorded.
+type StreamState struct {
+	// Cursor and WindowStart delimit the consumed window [WindowStart, Cursor).
+	Cursor, WindowStart int
+	// SymbolSums are the accumulator's raw per-symbol sums over the window.
+	SymbolSums []float64
+	// SampleSums holds the maintained sample match sum per live candidate.
+	SampleSums map[string]float64
+	// ExactSums holds the exact window match sum per probed pattern.
+	ExactSums map[string]float64
+}
+
 // Snapshot is one pipeline checkpoint. Phase is the highest phase fully
 // recorded: 1 (symbol matches + sample), 2 (adds the sample-mining result),
 // or 3 (adds probe progress; the Probe section may record zero scans).
@@ -152,6 +171,12 @@ type Snapshot struct {
 
 	// Phase 3 progress (nil when Phase < 3).
 	Probe *ProbeState
+
+	// Stream is the incremental streaming session's state (nil for batch
+	// runs). A stream snapshot records Phase 1 (sample + symbol matches)
+	// plus, when a mine is live, Phase 2; probe progress is carried by
+	// Stream.ExactSums rather than a probe section.
+	Stream *StreamState
 }
 
 // sectionWriter accumulates one section's payload.
@@ -309,6 +334,23 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 
+	if st := s.Stream; st != nil {
+		sw.buf.Reset()
+		sw.uvarint(uint64(st.Cursor))
+		sw.uvarint(uint64(st.WindowStart))
+		sw.uvarint(uint64(len(st.SymbolSums)))
+		for _, v := range st.SymbolSums {
+			sw.float(v)
+		}
+		sw.floatMap(st.SampleSums)
+		sw.floatMap(st.ExactSums)
+		k, err = emit(w, secStream, sw.buf.Bytes())
+		total += k
+		if err != nil {
+			return total, err
+		}
+	}
+
 	k, err = emit(w, secEnd, nil)
 	total += k
 	return total, err
@@ -450,6 +492,8 @@ func sectionName(tag byte) string {
 		return "phase2"
 	case secProbe:
 		return "probe"
+	case secStream:
+		return "stream"
 	case secEnd:
 		return "trailer"
 	default:
@@ -529,6 +573,13 @@ func (s *Snapshot) ReadFrom(r io.Reader) (int64, error) {
 			if err := s.readProbe(sr); err != nil {
 				return br.n, err
 			}
+		case secStream:
+			if !seen[secPhase1] {
+				return br.n, corrupt(name, "section precedes phase1", nil)
+			}
+			if err := s.readStream(sr); err != nil {
+				return br.n, err
+			}
 		case secEnd:
 			if plen != 0 {
 				return br.n, corrupt(name, "non-empty end marker", nil)
@@ -559,6 +610,17 @@ func (s *Snapshot) validate() error {
 	}
 	if s.Phase < 3 && s.Probe != nil {
 		return corrupt("probe", "probe section present but meta declares phase < 3", nil)
+	}
+	if st := s.Stream; st != nil {
+		if st.Cursor < st.WindowStart {
+			return corrupt("stream", fmt.Sprintf("cursor %d precedes window start %d", st.Cursor, st.WindowStart), nil)
+		}
+		if s.Probe != nil {
+			return corrupt("stream", "stream snapshots carry probe sums in the stream section, not a probe section", nil)
+		}
+		if s.Phase >= 2 && len(st.SampleSums) == 0 && len(s.Phase2.Values) > 0 {
+			return corrupt("stream", "phase2 candidates present but stream sample sums are empty", nil)
+		}
 	}
 	return nil
 }
@@ -714,6 +776,42 @@ func (s *Snapshot) readProbe(r *sectionReader) error {
 		return err
 	}
 	s.Probe = pr
+	return r.done()
+}
+
+func (s *Snapshot) readStream(r *sectionReader) error {
+	st := &StreamState{}
+	cursor, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	start, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if cursor > math.MaxInt32 || start > math.MaxInt32 {
+		return corrupt(r.section, "window bounds out of range", nil)
+	}
+	st.Cursor, st.WindowStart = int(cursor), int(start)
+	n, err := r.count()
+	if err != nil {
+		return err
+	}
+	st.SymbolSums = make([]float64, 0, min(n, initialAlloc))
+	for i := 0; i < n; i++ {
+		v, err := r.float()
+		if err != nil {
+			return err
+		}
+		st.SymbolSums = append(st.SymbolSums, v)
+	}
+	if st.SampleSums, err = r.floatMap(); err != nil {
+		return err
+	}
+	if st.ExactSums, err = r.floatMap(); err != nil {
+		return err
+	}
+	s.Stream = st
 	return r.done()
 }
 

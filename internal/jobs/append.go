@@ -1,0 +1,118 @@
+package jobs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+)
+
+// AppendLog is the server's ingest side of a streaming deployment: it owns
+// the write handle of one append-only sequence log (.lsa) and serializes
+// client appends into it. Followers — lspmine -follow, streaming jobs —
+// tail the same file read-only and pick appends up on their next advance,
+// so the server never coordinates with its readers; the log file is the
+// only contract.
+type AppendLog struct {
+	DB *seqdb.AppendDB
+	// Window, when > 0, expires all but the newest N live sequences after
+	// each accepted append (the head moves through the log's sidecar; the
+	// data file is never rewritten).
+	Window int
+	// Sync fsyncs after each accepted append: durable across power loss at
+	// the price of one fsync per request.
+	Sync bool
+
+	mu       sync.Mutex
+	appended atomic.Int64
+}
+
+// appendRequest is the POST /v1/append body. ExpectTotal makes retries safe:
+// a client that reads the log's total, sends it along, and retries on
+// network failure can never double-append — a stale total is refused with
+// 409 and the current total, and the client resubmits only what is missing.
+type appendRequest struct {
+	Sequences   [][]pattern.Symbol `json:"sequences"`
+	ExpectTotal *int               `json:"expect_total,omitempty"`
+}
+
+// appendResponse reports where the batch landed.
+type appendResponse struct {
+	// FirstID is the absolute id of the first appended sequence.
+	FirstID  int `json:"first_id"`
+	Appended int `json:"appended"`
+	// Total is the absolute append count; Live excludes expired sequences.
+	Total int `json:"total"`
+	Live  int `json:"live"`
+}
+
+// handleAppend serializes one client batch into the log. The whole batch is
+// appended under the log's lock, so concurrent clients interleave at batch
+// granularity and each response describes a contiguous id range.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	al := s.AppendLog
+	var req appendRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid append request: %v", err)
+		return
+	}
+	if len(req.Sequences) == 0 {
+		writeError(w, http.StatusBadRequest, "append request carries no sequences")
+		return
+	}
+	for i, seq := range req.Sequences {
+		if len(seq) == 0 {
+			writeError(w, http.StatusBadRequest, "sequence %d is empty", i)
+			return
+		}
+		for _, sym := range seq {
+			if sym < 0 {
+				writeError(w, http.StatusBadRequest, "sequence %d carries a negative symbol", i)
+				return
+			}
+		}
+	}
+
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	if req.ExpectTotal != nil && *req.ExpectTotal != al.DB.Total() {
+		writeJSON(w, http.StatusConflict, struct {
+			Error string `json:"error"`
+			Total int    `json:"total"`
+		}{"expected total does not match the log", al.DB.Total()})
+		return
+	}
+	first := al.DB.Total()
+	for _, seq := range req.Sequences {
+		if _, err := al.DB.Append(seq); err != nil {
+			writeError(w, http.StatusInternalServerError, "append failed: %v", err)
+			return
+		}
+	}
+	if al.Window > 0 {
+		if total := al.DB.Total(); total-al.DB.Start() > al.Window {
+			if err := al.DB.ExpireBefore(total - al.Window); err != nil {
+				writeError(w, http.StatusInternalServerError, "window expiry failed: %v", err)
+				return
+			}
+		}
+	}
+	if al.Sync {
+		if err := al.DB.Sync(); err != nil {
+			writeError(w, http.StatusInternalServerError, "sync failed: %v", err)
+			return
+		}
+	}
+	al.appended.Add(int64(len(req.Sequences)))
+	writeJSON(w, http.StatusOK, appendResponse{
+		FirstID:  first,
+		Appended: len(req.Sequences),
+		Total:    al.DB.Total(),
+		Live:     al.DB.Len(),
+	})
+}

@@ -1,0 +1,151 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/pattern"
+	"repro/internal/seqdb"
+)
+
+func startAppendServer(t *testing.T, window int) (*seqdb.AppendDB, *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	adb, err := seqdb.OpenAppend(filepath.Join(dir, "ingest.lsa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { adb.Close() })
+	m, err := NewManager(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(m)
+	s.AppendLog = &AppendLog{DB: adb, Window: window}
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = m.Shutdown(ctx)
+	})
+	return adb, srv
+}
+
+func postAppend(t *testing.T, url string, req appendRequest) (*http.Response, appendResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/append", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out appendResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+// TestServerAppend feeds two batches and checks ids, totals, and that the
+// sequences landed in the log byte-for-byte.
+func TestServerAppend(t *testing.T) {
+	adb, srv := startAppendServer(t, 0)
+	batches := [][][]pattern.Symbol{
+		{{0, 1, 2}, {3, 4}},
+		{{5}, {6, 7}, {8}},
+	}
+	total := 0
+	for _, seqs := range batches {
+		resp, out := postAppend(t, srv.URL, appendRequest{Sequences: seqs})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("append: status %d", resp.StatusCode)
+		}
+		if out.FirstID != total || out.Appended != len(seqs) || out.Total != total+len(seqs) {
+			t.Fatalf("append response %+v, want first %d appended %d", out, total, len(seqs))
+		}
+		total += len(seqs)
+	}
+	var got [][]pattern.Symbol
+	if err := adb.Scan(func(id int, seq []pattern.Symbol) error {
+		got = append(got, append([]pattern.Symbol(nil), seq...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var want [][]pattern.Symbol
+	for _, b := range batches {
+		want = append(want, b...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("log holds %d sequences, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("sequence %d diverges", i)
+			}
+		}
+	}
+}
+
+// TestServerAppendIdempotency: a stale expect_total is refused with 409 and
+// the current total, so a retried batch cannot double-append.
+func TestServerAppendIdempotency(t *testing.T) {
+	_, srv := startAppendServer(t, 0)
+	zero := 0
+	resp, _ := postAppend(t, srv.URL, appendRequest{Sequences: [][]pattern.Symbol{{1, 2}}, ExpectTotal: &zero})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first append: status %d", resp.StatusCode)
+	}
+	// The "network failed, client retries the same batch" case.
+	resp, _ = postAppend(t, srv.URL, appendRequest{Sequences: [][]pattern.Symbol{{1, 2}}, ExpectTotal: &zero})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("retried append: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestServerAppendWindow: the configured sliding window expires old
+// sequences as batches land.
+func TestServerAppendWindow(t *testing.T) {
+	adb, srv := startAppendServer(t, 3)
+	for i := 0; i < 5; i++ {
+		resp, _ := postAppend(t, srv.URL, appendRequest{Sequences: [][]pattern.Symbol{{pattern.Symbol(i)}}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("append %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if adb.Total() != 5 || adb.Len() != 3 || adb.Start() != 2 {
+		t.Fatalf("log total %d live %d start %d, want 5/3/2", adb.Total(), adb.Len(), adb.Start())
+	}
+}
+
+// TestServerAppendRejectsMalformed: empty batches, empty sequences and
+// negative symbols are refused before touching the log.
+func TestServerAppendRejectsMalformed(t *testing.T) {
+	adb, srv := startAppendServer(t, 0)
+	for _, req := range []appendRequest{
+		{},
+		{Sequences: [][]pattern.Symbol{{}}},
+		{Sequences: [][]pattern.Symbol{{1, -2}}},
+	} {
+		resp, _ := postAppend(t, srv.URL, req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("malformed append: status %d, want 400", resp.StatusCode)
+		}
+	}
+	if adb.Total() != 0 {
+		t.Fatalf("malformed appends reached the log (total %d)", adb.Total())
+	}
+}

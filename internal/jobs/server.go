@@ -35,6 +35,7 @@ const (
 //	GET    /v1/jobs/{id}/result result document      → 200 Result
 //	GET    /v1/jobs/{id}/events NDJSON status stream → 200 Status per line
 //	DELETE /v1/jobs/{id}        cancel               → 200 Status
+//	POST   /v1/append           append sequences     → 200 (with AppendLog)
 //	GET    /healthz             liveness             → 200 / 503 draining
 //	GET    /metrics             Prometheus text
 //
@@ -51,6 +52,9 @@ type Server struct {
 	// every /v1/* route (compared in constant time); /healthz stays open for
 	// unauthenticated liveness probes and /metrics for scrapers.
 	AuthToken string
+	// AppendLog, when non-nil, serves POST /v1/append: clients feed the
+	// server's append-only sequence log, which streaming followers tail.
+	AppendLog *AppendLog
 }
 
 // NewServer wraps a manager with the default streaming cadence.
@@ -65,6 +69,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.auth(s.handleResult))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.auth(s.handleEvents))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.auth(s.handleCancel))
+	if s.AppendLog != nil {
+		mux.HandleFunc("POST /v1/append", s.auth(s.handleAppend))
+	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -292,6 +299,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP lspserve_worker_slots_in_use Worker slots currently held by jobs.\n")
 	p("# TYPE lspserve_worker_slots_in_use gauge\n")
 	p("lspserve_worker_slots_in_use %d\n", c.SlotsInUse)
+	if al := s.AppendLog; al != nil {
+		p("# HELP lspserve_append_sequences_total Sequences accepted by /v1/append.\n")
+		p("# TYPE lspserve_append_sequences_total counter\n")
+		p("lspserve_append_sequences_total %d\n", al.appended.Load())
+		p("# HELP lspserve_append_log_live Live (unexpired) sequences in the append log.\n")
+		p("# TYPE lspserve_append_log_live gauge\n")
+		p("lspserve_append_log_live %d\n", al.DB.Len())
+	}
 	if reg := s.Manager.opts.Registry; reg != nil {
 		writeTelemetryMetrics(w, reg.Aggregate())
 	}

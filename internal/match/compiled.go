@@ -206,6 +206,29 @@ func (s *CompiledSet) Observe(seq []pattern.Symbol) {
 	s.n++
 }
 
+// ObserveInto adds one sequence's match for every pattern into sums (which
+// must have one entry per compiled pattern) instead of the set's own
+// accumulators. Streaming consumers extend previously accumulated sums with
+// this: seeding sums with the running totals and observing the new sequences
+// one by one continues the exact left-to-right addition order a from-scratch
+// in-order scan performs — summing the new chunk separately and adding it
+// afterwards would reassociate the floats.
+func (s *CompiledSet) ObserveInto(seq []pattern.Symbol, sums []float64) {
+	for i, cp := range s.patterns {
+		sums[i] += cp.Match(seq)
+	}
+}
+
+// Sums returns a copy of the raw per-pattern match sums accumulated so far.
+// Streaming consumers cache these instead of the averages Matches returns:
+// a sum extended sequence by sequence stays bit-identical to a fresh in-order
+// scan, which an average re-multiplied by n would not.
+func (s *CompiledSet) Sums() []float64 {
+	out := make([]float64, len(s.sums))
+	copy(out, s.sums)
+	return out
+}
+
 // Matches returns each pattern's database match after n observed sequences
 // (s.n is used when n <= 0).
 func (s *CompiledSet) Matches(n int) []float64 {

@@ -1,6 +1,8 @@
 package match
 
 import (
+	"fmt"
+
 	"repro/internal/compat"
 	"repro/internal/pattern"
 	"repro/internal/seqdb"
@@ -74,6 +76,25 @@ func (a *SymbolAccumulator) Matches(n int) []float64 {
 		out[i] = s / float64(n)
 	}
 	return out
+}
+
+// Sums returns a copy of the running per-symbol match sums (Matches before
+// the division by N). A streaming pipeline checkpoints these raw sums so a
+// restored accumulator continues bit-identically.
+func (a *SymbolAccumulator) Sums() []float64 {
+	out := make([]float64, len(a.sums))
+	copy(out, a.sums)
+	return out
+}
+
+// SetSums restores previously checkpointed sums. The slice length must be
+// the alphabet size the accumulator was built with.
+func (a *SymbolAccumulator) SetSums(sums []float64) error {
+	if len(sums) != len(a.sums) {
+		return fmt.Errorf("match: restoring %d symbol sums into an alphabet of %d", len(sums), len(a.sums))
+	}
+	copy(a.sums, sums)
+	return nil
 }
 
 // Symbols computes the match of every individual symbol in one scan of the

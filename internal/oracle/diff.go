@@ -13,6 +13,8 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -23,6 +25,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/seqdb"
 	"repro/internal/shardrpc"
+	"repro/internal/stream"
 	"repro/internal/support"
 )
 
@@ -326,6 +329,63 @@ func RemoteShardEngine(fin core.Finalizer, kernel core.Phase2Kernel, nodes, shar
 	}}
 }
 
+// StreamEngine feeds the case's database through the incremental streaming
+// pipeline in batch-sequence batches over an append-only log, advancing the
+// stream after each batch, and returns the final frequent set. With the
+// case's full-window sample the stream's final result must equal the batch
+// pipeline's — and hence the oracle's — for every batch size, worker count
+// and kernel: replay is purely an execution layout.
+func StreamEngine(kernel stream.Kernel, workers, batch int) Engine {
+	kname := "incremental"
+	if kernel == stream.KernelNaive {
+		kname = "naive"
+	}
+	name := fmt.Sprintf("stream.Advance/%s/workers=%d/batch=%d", kname, workers, batch)
+	return Engine{Name: name, Ref: RefMatch, Mine: func(cs *Case) (*pattern.Set, error) {
+		dir, err := os.MkdirTemp("", "lspstream")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		log, err := seqdb.CreateAppend(filepath.Join(dir, "log.lsa"))
+		if err != nil {
+			return nil, err
+		}
+		defer log.Close()
+		s, err := stream.New(log, stream.Config{
+			C:          cs.C,
+			MinMatch:   cs.MinMatch,
+			Delta:      cs.Delta,
+			SampleSize: len(cs.DB),
+			MaxLen:     cs.MaxLen,
+			MaxGap:     cs.MaxGap,
+			MemBudget:  cs.MemBudget,
+			Workers:    workers,
+			Kernel:     kernel,
+			Seed:       cs.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var res *stream.Result
+		for lo := 0; lo < len(cs.DB); lo += batch {
+			hi := lo + batch
+			if hi > len(cs.DB) {
+				hi = len(cs.DB)
+			}
+			for _, seq := range cs.DB[lo:hi] {
+				if _, err := log.Append(seq); err != nil {
+					return nil, err
+				}
+			}
+			if res, err = s.Advance(context.Background()); err != nil {
+				return nil, err
+			}
+		}
+		return res.Frequent, nil
+	}}
+}
+
 // implicitInSpace checks that every member of the implicit finalizer's
 // closure is genuinely frequent per the oracle, then restricts the set to
 // the case's gap-bounded space so it is comparable to the other engines.
@@ -407,6 +467,9 @@ func Battery() []Engine {
 		MineGrowthEngine(core.BorderCollapsing, core.KernelNaive, 2),
 		MineGrowthEngine(core.LevelWise, core.KernelIncremental, 2),
 		RemoteShardEngine(core.BorderCollapsing, core.KernelIncremental, 2, 3),
+		StreamEngine(stream.KernelIncremental, 0, 1),
+		StreamEngine(stream.KernelIncremental, 3, 4),
+		StreamEngine(stream.KernelNaive, 2, 3),
 		ExhaustiveEngine(),
 		MaxMinerEngine(),
 		SupportSweepEngine(),

@@ -1,0 +1,315 @@
+package seqdb
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+func mustAppend(t *testing.T, db *AppendDB, seqs ...[]pattern.Symbol) {
+	t.Helper()
+	for _, s := range seqs {
+		if _, err := db.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func collectSeqs(t *testing.T, db Scanner) [][]pattern.Symbol {
+	t.Helper()
+	var out [][]pattern.Symbol
+	err := db.Scan(func(id int, seq []pattern.Symbol) error {
+		if id != len(out) {
+			t.Fatalf("id %d out of order (want %d)", id, len(out))
+		}
+		cp := make([]pattern.Symbol, len(seq))
+		copy(cp, seq)
+		out = append(out, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAppendDBRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.lsa")
+	db, err := CreateAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]pattern.Symbol{{0, 1, 2}, {3}, {4, 4, 1}}
+	mustAppend(t, db, want...)
+	if got := collectSeqs(t, db); !reflect.DeepEqual(got, want) {
+		t.Fatalf("scan = %v, want %v", got, want)
+	}
+	if db.Len() != 3 || db.Total() != 3 || db.Start() != 0 {
+		t.Fatalf("Len/Total/Start = %d/%d/%d", db.Len(), db.Total(), db.Start())
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen read-write and keep appending; then read-only and via OpenAuto.
+	db, err = OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustAppend(t, db, []pattern.Symbol{7})
+	want = append(want, []pattern.Symbol{7})
+	if got := collectSeqs(t, db); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after reopen: scan = %v, want %v", got, want)
+	}
+	ro, err := OpenAppendRead(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectSeqs(t, ro); !reflect.DeepEqual(got, want) {
+		t.Fatalf("read-only: scan = %v, want %v", got, want)
+	}
+	if _, err := ro.Append([]pattern.Symbol{1}); err == nil {
+		t.Fatal("append on a read-only log succeeded")
+	}
+	auto, err := OpenAuto(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectSeqs(t, auto); !reflect.DeepEqual(got, want) {
+		t.Fatalf("OpenAuto: scan = %v, want %v", got, want)
+	}
+}
+
+func TestAppendDBScanSince(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.lsa")
+	db, err := CreateAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustAppend(t, db, []pattern.Symbol{0}, []pattern.Symbol{1}, []pattern.Symbol{2})
+	var abs []int
+	cursor, err := db.ScanSince(context.Background(), 0, func(a int, seq []pattern.Symbol) error {
+		abs = append(abs, a)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cursor != 3 || !reflect.DeepEqual(abs, []int{0, 1, 2}) {
+		t.Fatalf("cursor=%d abs=%v", cursor, abs)
+	}
+	// Nothing new: the tail scan delivers nothing and keeps the cursor.
+	cursor, err = db.ScanSince(context.Background(), cursor, func(a int, seq []pattern.Symbol) error {
+		t.Fatalf("unexpected delivery of %d", a)
+		return nil
+	})
+	if err != nil || cursor != 3 {
+		t.Fatalf("cursor=%d err=%v", cursor, err)
+	}
+	mustAppend(t, db, []pattern.Symbol{3}, []pattern.Symbol{4})
+	abs = abs[:0]
+	cursor, err = db.ScanSince(context.Background(), cursor, func(a int, seq []pattern.Symbol) error {
+		abs = append(abs, a)
+		return nil
+	})
+	if err != nil || cursor != 5 || !reflect.DeepEqual(abs, []int{3, 4}) {
+		t.Fatalf("cursor=%d abs=%v err=%v", cursor, abs, err)
+	}
+	if db.Scans() != 0 {
+		t.Fatalf("tail scans counted as passes: %d", db.Scans())
+	}
+}
+
+func TestAppendDBExpire(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.lsa")
+	db, err := CreateAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := [][]pattern.Symbol{{0}, {1}, {2}, {3}, {4}}
+	mustAppend(t, db, seqs...)
+	if err := db.ExpireBefore(2); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 3 || db.Start() != 2 || db.Total() != 5 {
+		t.Fatalf("Len/Start/Total = %d/%d/%d", db.Len(), db.Start(), db.Total())
+	}
+	if got := collectSeqs(t, db); !reflect.DeepEqual(got, seqs[2:]) {
+		t.Fatalf("live window = %v, want %v", got, seqs[2:])
+	}
+	// Expiry never moves backward, and ScanSince clamps to the head.
+	if err := db.ExpireBefore(1); err != nil {
+		t.Fatal(err)
+	}
+	if db.Start() != 2 {
+		t.Fatalf("head moved backward to %d", db.Start())
+	}
+	var abs []int
+	if _, err := db.ScanSince(context.Background(), 0, func(a int, seq []pattern.Symbol) error {
+		abs = append(abs, a)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(abs, []int{2, 3, 4}) {
+		t.Fatalf("ScanSince delivered %v", abs)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The head survives a reopen via its sidecar.
+	db, err = OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.Start() != 2 || db.Len() != 3 {
+		t.Fatalf("after reopen: Start/Len = %d/%d", db.Start(), db.Len())
+	}
+}
+
+func TestAppendDBRangeScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.lsa")
+	db, err := CreateAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustAppend(t, db, []pattern.Symbol{0}, []pattern.Symbol{1}, []pattern.Symbol{2}, []pattern.Symbol{3})
+	if err := db.ExpireBefore(1); err != nil {
+		t.Fatal(err)
+	}
+	var ids []int
+	err = db.ScanRangeContext(context.Background(), 1, 3, func(id int, seq []pattern.Symbol) error {
+		ids = append(ids, id)
+		if want := pattern.Symbol(id + 1); seq[0] != want {
+			t.Fatalf("id %d carries symbol %d, want %d", id, seq[0], want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []int{1, 2}) {
+		t.Fatalf("range ids = %v", ids)
+	}
+	if db.Scans() != 0 {
+		t.Fatalf("range deliveries counted as passes: %d", db.Scans())
+	}
+}
+
+func TestAppendDBTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.lsa")
+	db, err := CreateAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]pattern.Symbol{{5, 6}, {7, 8, 9}}
+	mustAppend(t, db, want...)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, mutate := range map[string]func([]byte) []byte{
+		"torn final record": func(b []byte) []byte { return b[:len(b)-3] },
+		"trailing garbage":  func(b []byte) []byte { return append(b, 0x02, 0xFF, 0x00) },
+		"flipped tail byte": func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b },
+	} {
+		mutated := mutate(append([]byte(nil), intact...))
+		if err := os.WriteFile(path, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		db, err := OpenAppend(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if db.TruncatedBytes() == 0 {
+			t.Fatalf("%s: recovery dropped nothing", name)
+		}
+		got := collectSeqs(t, db)
+		if len(got) == 0 || !reflect.DeepEqual(got, want[:len(got)]) {
+			t.Fatalf("%s: recovered %v, not a prefix of %v", name, got, want)
+		}
+		// Appending after recovery extends the intact prefix.
+		if _, err := db.Append([]pattern.Symbol{1, 2}); err != nil {
+			t.Fatalf("%s: append after recovery: %v", name, err)
+		}
+		wantAfter := append(append([][]pattern.Symbol{}, want[:len(got)]...), []pattern.Symbol{1, 2})
+		if got := collectSeqs(t, db); !reflect.DeepEqual(got, wantAfter) {
+			t.Fatalf("%s: after append: %v, want %v", name, got, wantAfter)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAppendDBShortHeaderRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.lsa")
+	// A crash mid-create leaves a partial header; reopening rewrites it.
+	if err := os.WriteFile(path, []byte("LSA1\x00\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustAppend(t, db, []pattern.Symbol{1})
+	if got := collectSeqs(t, db); len(got) != 1 {
+		t.Fatalf("scan = %v", got)
+	}
+	// A short file that is not a header prefix is rejected, not clobbered.
+	other := filepath.Join(t.TempDir(), "not.lsa")
+	if err := os.WriteFile(other, []byte("LSQ2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenAppend(other); err == nil {
+		t.Fatal("OpenAppend accepted a foreign short file")
+	}
+}
+
+func TestAppendDBReadOnlyLeavesFileIntact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.lsa")
+	db, err := CreateAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, db, []pattern.Symbol{1, 2, 3})
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	torn, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn = torn[:len(torn)-2]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := OpenAppendRead(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Len() != 0 || ro.TruncatedBytes() == 0 {
+		t.Fatalf("Len=%d TruncatedBytes=%d", ro.Len(), ro.TruncatedBytes())
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after, torn) {
+		t.Fatal("read-only open modified the file")
+	}
+}

@@ -258,6 +258,10 @@ func OpenAuto(path string) (Scanner, error) {
 		return OpenFile(path)
 	case gzipMagic:
 		return OpenGzipFile(path)
+	case appendMagic:
+		// Append logs open read-only here: a mining job scans the intact
+		// prefix (live window) while the owning appender keeps writing.
+		return OpenAppendRead(path)
 	default:
 		return nil, fmt.Errorf("seqdb: %s: unknown format %q", path, magic)
 	}

@@ -200,6 +200,14 @@ type Metrics struct {
 	kernelEvicted   Counter // cache entries dropped by the memory budget
 	kernelFallbacks Counter // levels where the budget forced fallback scoring
 
+	// Streaming accounting (internal/stream batch advances).
+	streamBatches       Counter // batches advanced through the streaming pipeline
+	streamAppended      Counter // sequences appended across all batches
+	streamExpired       Counter // sequences expired out of the sliding window
+	streamReprobesSaved Counter // probe valuations served from cached exact sums (no scan)
+	streamBorderShifts  Counter // batches whose raw-label border shifted
+	streamRemines       Counter // scoped Phase 2 re-mines (border shift, sample churn, rebuild)
+
 	// Phase 2 growth-engine accounting (depth-first prefix projection).
 	growthNodes      Counter // DFS nodes expanded (patterns whose children were enumerated)
 	growthProjBuilt  Counter // projections built from scratch
@@ -459,6 +467,33 @@ func (m *Metrics) GrowthPeakBytes(n int64) {
 	m.growthPeakBytes.SetMax(n)
 }
 
+// StreamBatch records one streaming Advance: the sequences it appended, the
+// sequences the sliding window expired, whether the raw-label border shifted,
+// and whether the batch fell back to a scoped re-mine.
+func (m *Metrics) StreamBatch(appended, expired int, borderShift, remine bool) {
+	if m == nil {
+		return
+	}
+	m.streamBatches.Inc()
+	m.streamAppended.Add(int64(appended))
+	m.streamExpired.Add(int64(expired))
+	if borderShift {
+		m.streamBorderShifts.Inc()
+	}
+	if remine {
+		m.streamRemines.Inc()
+	}
+}
+
+// StreamReprobesAvoided records probe valuations served from the stream's
+// cached exact sums instead of a fresh database scan.
+func (m *Metrics) StreamReprobesAvoided(n int) {
+	if m == nil {
+		return
+	}
+	m.streamReprobesSaved.Add(int64(n))
+}
+
 // ResumeHit records that the run resumed from a checkpoint recorded at the
 // given phase, skipping scansSkipped full database scans.
 func (m *Metrics) ResumeHit(phase, scansSkipped int) {
@@ -535,6 +570,13 @@ type Snapshot struct {
 	GrowthPrunes     int64 `json:"growth_prunes,omitempty"`
 	GrowthDenied     int64 `json:"growth_denied,omitempty"`
 	GrowthPeakBytes  int64 `json:"growth_peak_bytes,omitempty"`
+
+	StreamBatches       int64 `json:"stream_batches,omitempty"`
+	StreamAppended      int64 `json:"stream_appended,omitempty"`
+	StreamExpired       int64 `json:"stream_expired,omitempty"`
+	StreamReprobesSaved int64 `json:"stream_reprobes_avoided,omitempty"`
+	StreamBorderShifts  int64 `json:"stream_border_shifts,omitempty"`
+	StreamRemines       int64 `json:"stream_remines,omitempty"`
 
 	CheckpointWrites int64   `json:"checkpoint_writes,omitempty"`
 	CheckpointBytes  int64   `json:"checkpoint_bytes,omitempty"`
@@ -627,6 +669,12 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.RemoteHedges = m.remoteHedges.Load()
 	s.RemoteHedgesWon = m.remoteHedgesWon.Load()
 	s.RemoteShardsLost = m.remoteShardsLost.Load()
+	s.StreamBatches = m.streamBatches.Load()
+	s.StreamAppended = m.streamAppended.Load()
+	s.StreamExpired = m.streamExpired.Load()
+	s.StreamReprobesSaved = m.streamReprobesSaved.Load()
+	s.StreamBorderShifts = m.streamBorderShifts.Load()
+	s.StreamRemines = m.streamRemines.Load()
 	s.CheckpointWrites = m.ckptWrites.Load()
 	s.CheckpointBytes = m.ckptBytes.Load()
 	s.CheckpointMillis = float64(m.ckptTime.Elapsed().Microseconds()) / 1000
@@ -685,6 +733,11 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		p("  phase-3 remote: %d probes (%d failed, mean %.1f us, max %d us), %d retries, %d reassigned, %d hedges (%d won), %d shards lost\n",
 			s.RemoteProbes, s.RemoteFailures, s.RemoteProbeUs.Mean, s.RemoteProbeUs.Max,
 			s.RemoteRetries, s.RemoteReassigned, s.RemoteHedges, s.RemoteHedgesWon, s.RemoteShardsLost)
+	}
+	if s.StreamBatches > 0 {
+		p("  streaming: %d batches, %d appended, %d expired, %d re-probes avoided, %d border shifts, %d re-mines\n",
+			s.StreamBatches, s.StreamAppended, s.StreamExpired,
+			s.StreamReprobesSaved, s.StreamBorderShifts, s.StreamRemines)
 	}
 	if s.CheckpointWrites > 0 {
 		p("  checkpoints: %d writes, %d bytes, %.1f ms\n",
